@@ -1,0 +1,38 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md's experiment index.
+Sizes are scaled down from the paper (400k training samples) so the whole
+suite runs on a laptop CPU; set ``REPRO_BENCH_SCALE=full`` to use larger
+sizes (several times slower) for tighter curves.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scaled-down defaults (samples, epochs) used by the training benchmarks.
+SMALL_SCALE = {
+    "train_samples": 30,
+    "eval_samples": 12,
+    "epochs": 8,
+    "state_dim": 12,
+    "iterations": 3,
+}
+
+FULL_SCALE = {
+    "train_samples": 80,
+    "eval_samples": 30,
+    "epochs": 15,
+    "state_dim": 16,
+    "iterations": 4,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Benchmark sizing knobs, switchable via the REPRO_BENCH_SCALE env var."""
+    if os.environ.get("REPRO_BENCH_SCALE", "small").lower() == "full":
+        return dict(FULL_SCALE)
+    return dict(SMALL_SCALE)

@@ -1,0 +1,78 @@
+"""Experiment B (baseline): queueing theory vs the mixed-queue-size ground truth.
+
+The paper's introduction motivates learned models by the inaccuracy of
+traditional queueing theory on complex scenarios.  This benchmark measures
+that gap on packet-level-simulated NSFNET scenarios with mixed queue sizes:
+
+* the M/M/1 model ignores buffer sizes (the same information the *original*
+  RouteNet lacks) and should show a large error;
+* the M/M/1/K model sees buffer sizes (like the *extended* RouteNet) and
+  should be markedly more accurate;
+* both are orders of magnitude cheaper than simulation — but only the
+  queue-aware model is also accurate, which is the paper's core motivation
+  for putting device features into the GNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MM1KModel, MM1Model
+from repro.nn.metrics import mean_relative_error
+from repro.routing import shortest_path_routing
+from repro.simulator import SimulationConfig, simulate_network
+from repro.topology import nsfnet_topology
+from repro.topology.generators import assign_queue_sizes
+from repro.traffic import scaled_to_utilization, uniform_traffic
+
+
+def _scenario(seed: int, utilization: float = 0.75):
+    rng = np.random.default_rng(seed)
+    topology = assign_queue_sizes(nsfnet_topology(capacity=2e6), 0.5, rng=rng)
+    routing = shortest_path_routing(topology)
+    traffic = uniform_traffic(14, 0.5, 1.5, rng=rng)
+    traffic = scaled_to_utilization(traffic, routing, utilization)
+    return topology, routing, traffic
+
+
+@pytest.fixture(scope="module")
+def baseline_errors():
+    errors = {"mm1": [], "mm1k": []}
+    for seed in range(3):
+        topology, routing, traffic = _scenario(seed)
+        result = simulate_network(topology, routing, traffic,
+                                  SimulationConfig(duration=8.0, warmup=1.0, seed=seed))
+        measured = result.delays_vector(routing.pairs())
+        valid = np.isfinite(measured)
+
+        mm1 = MM1Model().predict_delays(topology, routing, traffic)
+        mm1k = MM1KModel().predict_delays(topology, routing, traffic)
+        usable = valid & np.isfinite(mm1)
+        errors["mm1"].append(mean_relative_error(mm1[usable], measured[usable]))
+        errors["mm1k"].append(mean_relative_error(mm1k[valid], measured[valid]))
+    return {name: float(np.mean(values)) for name, values in errors.items()}
+
+
+def test_baseline_queueing_theory(benchmark, baseline_errors):
+    """Time the analytic M/M/1/K evaluation of one NSFNET scenario."""
+    topology, routing, traffic = _scenario(99)
+    model = MM1KModel()
+
+    def evaluate():
+        return model.predict_delays(topology, routing, traffic)
+
+    benchmark(evaluate)
+
+    print("\nQueueing-theory baselines vs packet-level ground truth (mixed queues)")
+    print(f"  M/M/1   (queue-size blind): mean rel. error {baseline_errors['mm1']:.3f}")
+    print(f"  M/M/1/K (queue-size aware): mean rel. error {baseline_errors['mm1k']:.3f}")
+
+
+def test_queue_aware_baseline_beats_blind_baseline(baseline_errors):
+    assert baseline_errors["mm1k"] < baseline_errors["mm1"]
+
+
+def test_blind_baseline_error_is_substantial(baseline_errors):
+    """Ignoring buffer sizes on a congested mixed-queue scenario costs accuracy."""
+    assert baseline_errors["mm1"] > 0.15

@@ -1,0 +1,79 @@
+"""Experiment C (substrate fidelity): packet simulator vs analytic generator.
+
+The training datasets are produced by the fast analytic M/M/1/K generator;
+the evaluation-grade ground truth comes from the packet-level simulator.
+This benchmark sweeps the offered load on a small topology and checks that
+the two substrates agree on delay (within a modest tolerance) across the
+whole operating range, so conclusions drawn on analytic data transfer to the
+simulated (OMNeT++-like) setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import AnalyticGroundTruth
+from repro.routing import shortest_path_routing
+from repro.simulator import SimulationConfig, simulate_network
+from repro.topology import ring_topology
+from repro.traffic import scaled_to_utilization, uniform_traffic
+
+UTILIZATIONS = (0.2, 0.4, 0.6, 0.8)
+
+
+def _scenario(utilization: float, seed: int = 0):
+    topology = ring_topology(5, capacity=2e6)
+    routing = shortest_path_routing(topology)
+    traffic = uniform_traffic(5, 0.5, 1.5, rng=np.random.default_rng(seed))
+    traffic = scaled_to_utilization(traffic, routing, utilization)
+    return topology, routing, traffic
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    analytic = AnalyticGroundTruth(noise_std=0.0)
+    rows = []
+    for utilization in UTILIZATIONS:
+        topology, routing, traffic = _scenario(utilization)
+        simulated = simulate_network(topology, routing, traffic,
+                                     SimulationConfig(duration=15.0, warmup=2.0, seed=3))
+        measured = simulated.delays_vector(routing.pairs())
+        predicted = analytic.generate(topology, routing, traffic).delays
+        valid = np.isfinite(measured)
+        ratio = float(np.mean(predicted[valid] / measured[valid]))
+        rows.append({"utilization": utilization,
+                     "simulated_mean_ms": float(np.nanmean(measured) * 1e3),
+                     "analytic_mean_ms": float(predicted.mean() * 1e3),
+                     "mean_ratio": ratio})
+    return rows
+
+
+def test_simulator_vs_analytic(benchmark, sweep_results):
+    """Time one packet-level simulation of the sweep's mid-load point."""
+    topology, routing, traffic = _scenario(0.6)
+
+    def simulate_once():
+        return simulate_network(topology, routing, traffic,
+                                SimulationConfig(duration=3.0, warmup=0.5, seed=4))
+
+    benchmark.pedantic(simulate_once, rounds=1, iterations=1)
+
+    print("\nSimulator vs analytic generator across offered load")
+    print(f"{'util':>5s} {'simulated (ms)':>15s} {'analytic (ms)':>14s} {'ratio':>7s}")
+    for row in sweep_results:
+        print(f"{row['utilization']:5.2f} {row['simulated_mean_ms']:15.3f} "
+              f"{row['analytic_mean_ms']:14.3f} {row['mean_ratio']:7.3f}")
+
+
+def test_agreement_within_tolerance(sweep_results):
+    """The analytic generator tracks the simulator within ~35% across the sweep."""
+    for row in sweep_results:
+        assert 0.65 < row["mean_ratio"] < 1.35, row
+
+
+def test_delay_grows_with_load(sweep_results):
+    simulated = [row["simulated_mean_ms"] for row in sweep_results]
+    analytic = [row["analytic_mean_ms"] for row in sweep_results]
+    assert simulated == sorted(simulated)
+    assert analytic == sorted(analytic)

@@ -1,0 +1,76 @@
+"""Why GNN models? Queueing theory vs packet-level simulation on mixed queues.
+
+The paper's introduction argues that queueing theory "often fail[s] to
+provide accurate models for complex real-world scenarios" while packet-level
+simulation is accurate but expensive.  This example quantifies both claims
+on a single congested NSFNET scenario with mixed queue sizes:
+
+* ground truth comes from the packet-level discrete-event simulator;
+* the M/M/1 model (blind to queue sizes, like the original RouteNet inputs)
+  and the M/M/1/K model (queue-size aware) predict the same delays
+  analytically;
+* the run times of simulation vs analytic evaluation are compared.
+
+Run with::
+
+    python examples/queueing_theory_vs_simulation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import MM1KModel, MM1Model
+from repro.nn.metrics import mean_relative_error
+from repro.routing import shortest_path_routing
+from repro.simulator import SimulationConfig, simulate_network
+from repro.topology import nsfnet_topology
+from repro.topology.generators import assign_queue_sizes
+from repro.traffic import scaled_to_utilization, uniform_traffic
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    topology = assign_queue_sizes(nsfnet_topology(capacity=2e6), 0.5, rng=rng)
+    routing = shortest_path_routing(topology)
+    traffic = uniform_traffic(14, 0.5, 1.5, rng=rng)
+    traffic = scaled_to_utilization(traffic, routing, 0.8)
+    pair_order = routing.pairs()
+
+    small_queues = sum(1 for size in topology.queue_sizes().values() if size == 1)
+    print(f"Scenario: NSFNET, {small_queues}/14 devices limited to 1-packet buffers, "
+          f"peak utilisation 0.8\n")
+
+    # Ground truth: packet-level simulation.
+    start = time.perf_counter()
+    result = simulate_network(topology, routing, traffic,
+                              SimulationConfig(duration=20.0, warmup=2.0, seed=1))
+    simulation_seconds = time.perf_counter() - start
+    measured = result.delays_vector(pair_order)
+    valid = np.isfinite(measured)
+
+    # Analytic estimates.
+    start = time.perf_counter()
+    mm1 = MM1Model().predict_delays(topology, routing, traffic)
+    mm1_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    mm1k = MM1KModel().predict_delays(topology, routing, traffic)
+    mm1k_seconds = time.perf_counter() - start
+
+    finite_mm1 = np.isfinite(mm1) & valid
+    print(f"packet-level simulation : {simulation_seconds:6.2f} s "
+          f"({result.total_packets_generated} packets simulated)")
+    print(f"M/M/1 analytic model    : {mm1_seconds * 1e3:6.2f} ms, "
+          f"mean relative error {mean_relative_error(mm1[finite_mm1], measured[finite_mm1]):.3f}")
+    print(f"M/M/1/K analytic model  : {mm1k_seconds * 1e3:6.2f} ms, "
+          f"mean relative error {mean_relative_error(mm1k[valid], measured[valid]):.3f}")
+
+    print("\nTakeaway: ignoring queue sizes (M/M/1) inflates the error dramatically on")
+    print("scenarios with heterogeneous devices — the same information gap the original")
+    print("RouteNet suffers from and the extended architecture closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Reproduce Figure 2 of the paper (scaled down).
+
+Trains the original RouteNet and the Extended RouteNet on GEANT2 scenarios
+with mixed queue sizes, then evaluates both on held-out GEANT2 scenarios and
+on NSFNET scenarios never seen during training, and prints the CDF of the
+relative error of the delay predictions — the four curves of Fig. 2.
+
+Run with::
+
+    python examples/reproduce_fig2.py             # default scaled-down sizes
+    python examples/reproduce_fig2.py --fast      # smoke-test sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.pipeline import run_fig2_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="use very small sizes (a couple of minutes)")
+    parser.add_argument("--train-samples", type=int, default=50)
+    parser.add_argument("--eval-samples", type=int, default=20)
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--state-dim", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.fast:
+        args.train_samples, args.eval_samples, args.epochs, args.state_dim = 12, 5, 4, 8
+
+    print("Paper setting: train on GEANT2 (400k samples), evaluate on GEANT2 (100k) "
+          "and NSFNET (100k).")
+    print(f"This run     : train on GEANT2 ({args.train_samples} samples), evaluate on "
+          f"GEANT2 and NSFNET ({args.eval_samples} samples each).\n")
+
+    result = run_fig2_experiment(
+        num_train_samples=args.train_samples,
+        num_eval_samples=args.eval_samples,
+        epochs=args.epochs,
+        state_dim=args.state_dim,
+        seed=args.seed,
+    )
+
+    print(result.report())
+    print("\nTraining time per model:",
+          {name: f"{seconds:.1f}s" for name, seconds in result.training_seconds.items()})
+
+    extended_geant2 = result.mean_error("extended-geant2")
+    original_geant2 = result.mean_error("original-geant2")
+    extended_nsfnet = result.mean_error("extended-nsfnet")
+    original_nsfnet = result.mean_error("original-nsfnet")
+    print("\nPaper's qualitative claims:")
+    print(f"  extended beats original on GEANT2 : {extended_geant2 < original_geant2} "
+          f"({extended_geant2:.3f} vs {original_geant2:.3f})")
+    print(f"  extended beats original on NSFNET : {extended_nsfnet < original_nsfnet} "
+          f"({extended_nsfnet:.3f} vs {original_nsfnet:.3f})")
+
+
+if __name__ == "__main__":
+    main()

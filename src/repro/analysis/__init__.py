@@ -1,0 +1,24 @@
+"""Network-analysis utilities built on top of the trained models.
+
+This subpackage packages the "knowledge-defined networking" use case that
+motivates RouteNet: once a GNN delay model is trained, it can answer
+*what-if* questions (what happens to delays if we change the routing, the
+traffic, or the devices?) orders of magnitude faster than simulation.
+"""
+
+from repro.analysis.utilization import (
+    bottleneck_links,
+    link_loads,
+    link_utilizations,
+    path_utilization_summary,
+)
+from repro.analysis.whatif import WhatIfAnalyzer, make_scenario_sample
+
+__all__ = [
+    "link_loads",
+    "link_utilizations",
+    "bottleneck_links",
+    "path_utilization_summary",
+    "WhatIfAnalyzer",
+    "make_scenario_sample",
+]

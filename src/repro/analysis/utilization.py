@@ -1,0 +1,63 @@
+"""Static (model-free) load analysis of a scenario: link loads and bottlenecks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.routing.scheme import RoutingScheme
+from repro.routing.tables import routing_matrix
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = ["link_loads", "link_utilizations", "bottleneck_links", "path_utilization_summary"]
+
+
+def link_loads(routing: RoutingScheme, traffic: TrafficMatrix) -> np.ndarray:
+    """Offered load per link in bits/s (routing-matrix product, no queueing)."""
+    if traffic.num_nodes != routing.topology.num_nodes:
+        raise ValueError("traffic matrix size does not match the topology")
+    matrix = routing_matrix(routing)
+    demands = traffic.as_vector(routing.pairs())
+    return matrix.T @ demands
+
+
+def link_utilizations(routing: RoutingScheme, traffic: TrafficMatrix) -> np.ndarray:
+    """Offered utilisation per link (load / capacity), in link-index order."""
+    loads = link_loads(routing, traffic)
+    capacities = np.array(routing.topology.capacities())
+    return loads / capacities
+
+
+def bottleneck_links(routing: RoutingScheme, traffic: TrafficMatrix,
+                     top_k: int = 5) -> List[Dict[str, float]]:
+    """The ``top_k`` most utilised links, with their endpoints and utilisation."""
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    utilizations = link_utilizations(routing, traffic)
+    order = np.argsort(utilizations)[::-1][:top_k]
+    result = []
+    for index in order:
+        spec = routing.topology.link_by_index(int(index))
+        result.append({
+            "link_index": int(index),
+            "source": spec.source,
+            "target": spec.target,
+            "utilization": float(utilizations[index]),
+        })
+    return result
+
+
+def path_utilization_summary(routing: RoutingScheme, traffic: TrafficMatrix
+                             ) -> Dict[Tuple[int, int], float]:
+    """Per-pair maximum link utilisation along the pair's path.
+
+    A quick congestion indicator: pairs whose value approaches 1 traverse a
+    saturated link and will see large queueing delays or losses.
+    """
+    utilizations = link_utilizations(routing, traffic)
+    summary = {}
+    for pair in routing.pairs():
+        links = routing.link_path(*pair)
+        summary[pair] = float(utilizations[links].max())
+    return summary

@@ -1,0 +1,143 @@
+"""A non-graph machine-learning baseline: ridge regression on path features.
+
+Before GNNs, learned network models typically regressed per-path performance
+from hand-crafted features.  This baseline captures that approach so the
+benchmarks can show what the *relational* structure of RouteNet buys:
+
+* features are computed per path from the scenario description (path length,
+  traffic volume, sum/max of link utilisations, minimum capacity, minimum
+  and mean queue size along the path, propagation delay);
+* the model is ordinary ridge regression fitted with a closed-form solve.
+
+Unlike RouteNet it cannot capture the *coupling* between paths beyond what
+the static utilisation features encode, and unlike the extended RouteNet it
+has no iterative refinement — but it does see queue sizes, so it is a strong
+sanity baseline for the Fig. 2 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.utilization import link_utilizations
+from repro.datasets.sample import Sample
+
+__all__ = ["PathFeatureExtractor", "RidgeRegressionBaseline"]
+
+
+class PathFeatureExtractor:
+    """Computes a fixed-length feature vector for every path of a sample."""
+
+    FEATURE_NAMES = (
+        "path_length",
+        "traffic",
+        "sum_utilization",
+        "max_utilization",
+        "min_capacity",
+        "mean_capacity",
+        "min_queue_size",
+        "mean_queue_size",
+        "propagation_delay",
+        "serialisation_delay",
+    )
+
+    def __init__(self, mean_packet_size_bits: float = 8000.0) -> None:
+        if mean_packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+        self.mean_packet_size_bits = mean_packet_size_bits
+
+    def extract(self, sample: Sample) -> np.ndarray:
+        """Return an array of shape (num_paths, num_features)."""
+        topology = sample.topology
+        routing = sample.routing
+        utilizations = link_utilizations(routing, sample.traffic)
+        capacities = np.array(topology.capacities())
+        propagation = np.array([spec.propagation_delay for spec in topology.links()])
+        queue_sizes = topology.queue_sizes()
+
+        rows = []
+        for pair in sample.pair_order:
+            links = routing.link_path(*pair)
+            nodes = routing.path(*pair)[:-1]
+            link_utils = utilizations[links]
+            link_caps = capacities[links]
+            node_queues = np.array([queue_sizes[node] for node in nodes], dtype=np.float64)
+            rows.append([
+                float(len(links)),
+                sample.traffic.demand(*pair),
+                float(link_utils.sum()),
+                float(link_utils.max()),
+                float(link_caps.min()),
+                float(link_caps.mean()),
+                float(node_queues.min()),
+                float(node_queues.mean()),
+                float(propagation[links].sum()),
+                float((self.mean_packet_size_bits / link_caps).sum()),
+            ])
+        return np.asarray(rows, dtype=np.float64)
+
+
+class RidgeRegressionBaseline:
+    """Ridge regression from hand-crafted path features to per-path delay."""
+
+    def __init__(self, regularization: float = 1e-3,
+                 extractor: Optional[PathFeatureExtractor] = None) -> None:
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.regularization = regularization
+        self.extractor = extractor if extractor is not None else PathFeatureExtractor()
+        self._weights: Optional[np.ndarray] = None
+        self._feature_means: Optional[np.ndarray] = None
+        self._feature_stds: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def _design_matrix(self, features: np.ndarray) -> np.ndarray:
+        standardised = (features - self._feature_means) / self._feature_stds
+        return np.hstack([standardised, np.ones((features.shape[0], 1))])
+
+    def fit(self, samples: Sequence[Sample]) -> "RidgeRegressionBaseline":
+        """Fit the regression on the concatenated paths of ``samples``."""
+        samples = list(samples)
+        if not samples:
+            raise ValueError("cannot fit on an empty dataset")
+        features = np.vstack([self.extractor.extract(sample) for sample in samples])
+        targets = np.concatenate([sample.delays for sample in samples])
+        self._feature_means = features.mean(axis=0)
+        stds = features.std(axis=0)
+        self._feature_stds = np.where(stds > 1e-12, stds, 1.0)
+
+        design = self._design_matrix(features)
+        gram = design.T @ design + self.regularization * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ targets)
+        return self
+
+    def predict(self, sample: Sample) -> np.ndarray:
+        """Predict per-path delays (seconds) for one sample."""
+        if not self.is_fitted:
+            raise RuntimeError("fit() must be called before predict()")
+        design = self._design_matrix(self.extractor.extract(sample))
+        return design @ self._weights
+
+    def predict_many(self, samples: Sequence[Sample]) -> List[np.ndarray]:
+        """Predict per-path delays for several samples."""
+        return [self.predict(sample) for sample in samples]
+
+    def evaluate(self, samples: Sequence[Sample]) -> dict:
+        """Mean/median absolute relative error over ``samples``."""
+        samples = list(samples)
+        if not samples:
+            raise ValueError("evaluation needs at least one sample")
+        predictions = np.concatenate(self.predict_many(samples))
+        targets = np.concatenate([sample.delays for sample in samples])
+        errors = np.abs(predictions - targets) / np.maximum(np.abs(targets), 1e-12)
+        return {
+            "mean_relative_error": float(errors.mean()),
+            "median_relative_error": float(np.median(errors)),
+            "num_paths": int(errors.size),
+        }

@@ -1,0 +1,216 @@
+"""Queueing-theory delay estimators: M/M/1 and M/M/1/K network models.
+
+Both models treat every directed link as an independent queue fed by the
+aggregate of the flows routed over it (Kleinrock's independence assumption).
+Per-path delay is the sum of per-link sojourn times plus propagation delays.
+
+* :class:`MM1Model` assumes infinite buffers — it ignores queue sizes
+  entirely, exactly like the original RouteNet's feature set.
+* :class:`MM1KModel` models each output buffer as an M/M/1/K queue where
+  ``K`` is the source node's queue size plus the packet in service, computes
+  blocking probabilities, and thins flows hop by hop so downstream links see
+  only the traffic that survived upstream drops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.scheme import RoutingScheme
+from repro.topology.graph import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "mm1_waiting_time",
+    "mm1k_blocking_probability",
+    "mm1k_mean_queue_length",
+    "QueueingPrediction",
+    "QueueingNetworkModel",
+    "MM1Model",
+    "MM1KModel",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Single-queue formulas
+# ---------------------------------------------------------------------- #
+def mm1_waiting_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time (waiting + service) of an M/M/1 queue.
+
+    Returns ``inf`` for overloaded queues (rho >= 1).
+    """
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive (arrival may be zero)")
+    if arrival_rate >= service_rate:
+        return float("inf")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1k_blocking_probability(arrival_rate: float, service_rate: float, capacity: int) -> float:
+    """Blocking probability of an M/M/1/K queue with ``capacity`` total places."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive (arrival may be zero)")
+    if arrival_rate == 0:
+        return 0.0
+    rho = arrival_rate / service_rate
+    if np.isclose(rho, 1.0):
+        return 1.0 / (capacity + 1)
+    return float((1 - rho) * rho ** capacity / (1 - rho ** (capacity + 1)))
+
+
+def mm1k_mean_queue_length(arrival_rate: float, service_rate: float, capacity: int) -> float:
+    """Mean number of packets in an M/M/1/K system (waiting + in service)."""
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive (arrival may be zero)")
+    if arrival_rate == 0:
+        return 0.0
+    rho = arrival_rate / service_rate
+    if np.isclose(rho, 1.0):
+        return capacity / 2.0
+    k = capacity
+    return float(rho / (1 - rho) - (k + 1) * rho ** (k + 1) / (1 - rho ** (k + 1)))
+
+
+# ---------------------------------------------------------------------- #
+# Network models
+# ---------------------------------------------------------------------- #
+@dataclasses.dataclass
+class QueueingPrediction:
+    """Output of an analytic network model."""
+
+    pair_order: List[Tuple[int, int]]
+    delays: np.ndarray
+    loss_ratios: np.ndarray
+    link_utilizations: np.ndarray
+
+    def delay(self, source: int, destination: int) -> float:
+        """Delay prediction of one pair."""
+        return float(self.delays[self.pair_order.index((source, destination))])
+
+    def loss(self, source: int, destination: int) -> float:
+        """Loss-ratio prediction of one pair."""
+        return float(self.loss_ratios[self.pair_order.index((source, destination))])
+
+
+class QueueingNetworkModel:
+    """Shared machinery of the analytic models."""
+
+    def __init__(self, mean_packet_size_bits: float = 8000.0) -> None:
+        if mean_packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+        self.mean_packet_size_bits = mean_packet_size_bits
+
+    # -- hooks implemented by subclasses --------------------------------- #
+    def _link_metrics(self, arrival_pps: float, service_pps: float,
+                      queue_capacity: int) -> Tuple[float, float]:
+        """Return ``(sojourn_seconds, blocking_probability)`` for one link."""
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------ #
+    def predict(self, topology: Topology, routing: RoutingScheme,
+                traffic: TrafficMatrix) -> QueueingPrediction:
+        """Predict per-pair delay and loss for a scenario."""
+        if traffic.num_nodes != topology.num_nodes:
+            raise ValueError("traffic matrix size does not match the topology")
+        pair_order = routing.pairs()
+        num_links = topology.num_links
+        service_pps = np.array([spec.capacity / self.mean_packet_size_bits
+                                for spec in topology.links()])
+        queue_capacities = np.array(
+            [topology.node_spec(spec.source).queue_size + 1 for spec in topology.links()],
+            dtype=int)
+        propagation = np.array([spec.propagation_delay for spec in topology.links()])
+
+        # Offered load per link in packets/s, thinned hop-by-hop by upstream loss.
+        arrival_pps = np.zeros(num_links)
+        per_pair_offered: Dict[Tuple[int, int], List[int]] = {}
+        for pair in pair_order:
+            per_pair_offered[pair] = routing.link_path(*pair)
+
+        # Iterate the fixed point: blocking depends on arrivals, arrivals on blocking.
+        blocking = np.zeros(num_links)
+        for _ in range(self._fixed_point_iterations()):
+            arrival_pps[:] = 0.0
+            for pair in pair_order:
+                rate = traffic.demand(*pair) / self.mean_packet_size_bits
+                if rate <= 0:
+                    continue
+                surviving = rate
+                for link in per_pair_offered[pair]:
+                    arrival_pps[link] += surviving
+                    surviving *= (1.0 - blocking[link])
+            new_blocking = np.array([
+                self._link_metrics(arrival_pps[l], service_pps[l], queue_capacities[l])[1]
+                for l in range(num_links)
+            ])
+            if np.allclose(new_blocking, blocking, atol=1e-9):
+                blocking = new_blocking
+                break
+            blocking = new_blocking
+
+        sojourn = np.array([
+            self._link_metrics(arrival_pps[l], service_pps[l], queue_capacities[l])[0]
+            for l in range(num_links)
+        ])
+
+        delays = np.zeros(len(pair_order))
+        losses = np.zeros(len(pair_order))
+        for row, pair in enumerate(pair_order):
+            links = per_pair_offered[pair]
+            delays[row] = float(np.sum(sojourn[links]) + np.sum(propagation[links]))
+            survival = float(np.prod(1.0 - blocking[links]))
+            losses[row] = 1.0 - survival
+
+        utilizations = np.minimum(arrival_pps / service_pps, 1.0)
+        return QueueingPrediction(pair_order=pair_order, delays=delays,
+                                  loss_ratios=losses, link_utilizations=utilizations)
+
+    def predict_delays(self, topology: Topology, routing: RoutingScheme,
+                       traffic: TrafficMatrix) -> np.ndarray:
+        """Per-pair delays only (in :meth:`RoutingScheme.pairs` order)."""
+        return self.predict(topology, routing, traffic).delays
+
+    def _fixed_point_iterations(self) -> int:
+        return 1
+
+
+class MM1Model(QueueingNetworkModel):
+    """Infinite-buffer M/M/1 network model (ignores queue sizes)."""
+
+    def _link_metrics(self, arrival_pps: float, service_pps: float,
+                      queue_capacity: int) -> Tuple[float, float]:
+        return mm1_waiting_time(arrival_pps, service_pps), 0.0
+
+
+class MM1KModel(QueueingNetworkModel):
+    """Finite-buffer M/M/1/K network model with loss-aware thinning."""
+
+    def __init__(self, mean_packet_size_bits: float = 8000.0,
+                 fixed_point_iterations: int = 8) -> None:
+        super().__init__(mean_packet_size_bits)
+        if fixed_point_iterations < 1:
+            raise ValueError("need at least one fixed-point iteration")
+        self._iterations = fixed_point_iterations
+
+    def _fixed_point_iterations(self) -> int:
+        return self._iterations
+
+    def _link_metrics(self, arrival_pps: float, service_pps: float,
+                      queue_capacity: int) -> Tuple[float, float]:
+        blocking = mm1k_blocking_probability(arrival_pps, service_pps, queue_capacity)
+        if arrival_pps <= 0:
+            return 1.0 / service_pps, 0.0
+        mean_in_system = mm1k_mean_queue_length(arrival_pps, service_pps, queue_capacity)
+        effective_arrivals = arrival_pps * (1.0 - blocking)
+        if effective_arrivals <= 0:
+            return 1.0 / service_pps, blocking
+        # Little's law on accepted packets.
+        sojourn = mean_in_system / effective_arrivals
+        return sojourn, blocking

@@ -1,0 +1,188 @@
+"""Command-line interface: dataset generation, training and evaluation.
+
+Installed as the ``repro-net`` console script::
+
+    repro-net generate --topology geant2 --samples 50 --output data/geant2
+    repro-net train    --dataset data/geant2 --model extended --output models/ext
+    repro-net evaluate --dataset data/geant2 --model extended --weights models/ext
+    repro-net fig2     --train-samples 40 --eval-samples 15 --epochs 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.generator import DatasetConfig, generate_dataset
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.splits import train_val_test_split
+from repro.datasets.storage import load_dataset, save_dataset
+from repro.models.config import RouteNetConfig
+from repro.models.extended import ExtendedRouteNet
+from repro.models.routenet import RouteNet
+from repro.models.trainer import RouteNetTrainer, TrainerConfig, evaluate_model
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.pipeline import run_fig2_experiment
+from repro.topology.geant2 import geant2_topology
+from repro.topology.generators import random_topology
+from repro.topology.nsfnet import nsfnet_topology
+
+__all__ = ["main", "build_parser"]
+
+_TOPOLOGIES = {
+    "geant2": geant2_topology,
+    "nsfnet": nsfnet_topology,
+}
+
+_MODELS = {
+    "original": RouteNet,
+    "extended": ExtendedRouteNet,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-net",
+        description="Reproduction of 'Towards more realistic network models based on GNNs'")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a dataset of samples")
+    generate.add_argument("--topology", choices=sorted(_TOPOLOGIES) + ["random"],
+                          default="geant2")
+    generate.add_argument("--samples", type=int, default=50)
+    generate.add_argument("--small-queue-fraction", type=float, default=0.5)
+    generate.add_argument("--backend", choices=["analytic", "simulation"], default="analytic")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--random-nodes", type=int, default=12,
+                          help="node count when --topology random")
+    generate.add_argument("--output", required=True, help="output dataset path (.json.gz)")
+
+    train = subparsers.add_parser("train", help="train a model on a dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--model", choices=sorted(_MODELS), default="extended")
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--learning-rate", type=float, default=0.001)
+    train.add_argument("--state-dim", type=int, default=16)
+    train.add_argument("--iterations", type=int, default=4)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", required=True, help="checkpoint path (.npz)")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a trained model")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--model", choices=sorted(_MODELS), default="extended")
+    evaluate.add_argument("--weights", required=True)
+    evaluate.add_argument("--state-dim", type=int, default=16)
+    evaluate.add_argument("--iterations", type=int, default=4)
+
+    fig2 = subparsers.add_parser("fig2", help="run the Fig. 2 experiment end to end")
+    fig2.add_argument("--train-samples", type=int, default=40)
+    fig2.add_argument("--eval-samples", type=int, default=15)
+    fig2.add_argument("--epochs", type=int, default=10)
+    fig2.add_argument("--state-dim", type=int, default=16)
+    fig2.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _resolve_topology(args: argparse.Namespace):
+    if args.topology == "random":
+        return random_topology(args.random_nodes, rng=np.random.default_rng(args.seed))
+    return _TOPOLOGIES[args.topology]()
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    topology = _resolve_topology(args)
+    config = DatasetConfig(num_samples=args.samples,
+                           small_queue_fraction=args.small_queue_fraction,
+                           backend=args.backend, seed=args.seed)
+    samples = generate_dataset(topology, config)
+    normalizer = FeatureNormalizer().fit(samples)
+    path = save_dataset(samples, args.output, normalizer=normalizer,
+                        metadata={"topology": topology.name, "samples": args.samples,
+                                  "backend": args.backend, "seed": args.seed})
+    print(f"wrote {len(samples)} samples to {path}")
+    return 0
+
+
+def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0):
+    config = RouteNetConfig(link_state_dim=state_dim, path_state_dim=state_dim,
+                            node_state_dim=state_dim,
+                            message_passing_iterations=iterations, seed=seed)
+    return _MODELS[name](config)
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    samples, normalizer, _ = load_dataset(args.dataset)
+    train_samples, val_samples, _ = train_val_test_split(samples, 0.8, 0.1, seed=args.seed)
+    model = _build_model(args.model, args.state_dim, args.iterations, args.seed)
+    trainer = RouteNetTrainer(
+        model,
+        TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate, seed=args.seed),
+        normalizer=normalizer,
+    )
+    history = trainer.fit(train_samples, val_samples=val_samples or None)
+    metadata = {
+        "model": args.model,
+        "epochs": len(history.epochs),
+        "final_train_loss": history.train_loss[-1],
+        "normalizer": trainer.normalizer.to_dict(),
+        "state_dim": args.state_dim,
+        "iterations": args.iterations,
+    }
+    path = save_checkpoint(model, args.output, metadata=metadata)
+    print(f"trained {args.model} model for {len(history.epochs)} epochs "
+          f"(final loss {history.train_loss[-1]:.5f}); saved to {path}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    samples, normalizer, _ = load_dataset(args.dataset)
+    model = _build_model(args.model, args.state_dim, args.iterations)
+    metadata = load_checkpoint(model, args.weights)
+    if normalizer is None and "normalizer" in metadata:
+        normalizer = FeatureNormalizer.from_dict(metadata["normalizer"])
+    if normalizer is None:
+        raise SystemExit("no normalizer available: regenerate the dataset or retrain")
+    metrics = evaluate_model(model, samples, normalizer)
+    print(f"model={args.model} paths={metrics['num_paths']}")
+    print(f"mean relative error   : {metrics['mean_relative_error']:.4f}")
+    print(f"median relative error : {metrics['median_relative_error']:.4f}")
+    print(f"MAPE                  : {metrics['mape_percent']:.2f}%")
+    print(f"RMSE                  : {metrics['rmse']:.6f} s")
+    print(f"Pearson r             : {metrics['pearson']:.4f}")
+    return 0
+
+
+def _command_fig2(args: argparse.Namespace) -> int:
+    result = run_fig2_experiment(
+        num_train_samples=args.train_samples,
+        num_eval_samples=args.eval_samples,
+        epochs=args.epochs,
+        state_dim=args.state_dim,
+        seed=args.seed,
+    )
+    print(result.report())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "train": _command_train,
+    "evaluate": _command_evaluate,
+    "fig2": _command_fig2,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-net`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

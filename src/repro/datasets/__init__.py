@@ -1,0 +1,41 @@
+"""Dataset substrate: samples, generators, tensorisation and storage.
+
+A :class:`~repro.datasets.sample.Sample` bundles one simulated scenario —
+topology (with per-node queue sizes), routing scheme, traffic matrix — with
+the measured per-path performance (delay, jitter, loss).  Two generators
+produce samples:
+
+* :class:`~repro.datasets.simulation.SimulationGroundTruth` runs the
+  packet-level simulator (the OMNeT++ substitute) — accurate but slow.
+* :class:`~repro.datasets.analytic.AnalyticGroundTruth` evaluates a
+  fixed-point M/M/1/K queueing network with measurement noise — fast enough
+  to produce the training volumes the benchmarks need.
+
+:mod:`repro.datasets.tensorize` converts samples into the index/feature
+arrays the RouteNet models consume, and :mod:`repro.datasets.storage`
+persists datasets to disk.
+"""
+
+from repro.datasets.sample import Sample
+from repro.datasets.analytic import AnalyticGroundTruth
+from repro.datasets.simulation import SimulationGroundTruth
+from repro.datasets.generator import DatasetConfig, DatasetGenerator, generate_dataset
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.tensorize import TensorizedSample, tensorize_sample
+from repro.datasets.splits import train_val_test_split
+from repro.datasets.storage import load_dataset, save_dataset
+
+__all__ = [
+    "Sample",
+    "AnalyticGroundTruth",
+    "SimulationGroundTruth",
+    "DatasetConfig",
+    "DatasetGenerator",
+    "generate_dataset",
+    "FeatureNormalizer",
+    "TensorizedSample",
+    "tensorize_sample",
+    "train_val_test_split",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,147 @@
+"""Scenario sweeps: generate whole datasets of samples for a topology.
+
+Mirrors the structure of the paper's datasets: for a chosen topology the
+generator draws, per sample, a random assignment of queue sizes (standard
+vs 1-packet devices), a routing scheme (shortest path or a randomised
+k-shortest-path variation) and a traffic matrix scaled to a target peak
+utilisation, then asks a ground-truth backend (analytic or packet-level
+simulation) for the per-path delays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.analytic import AnalyticGroundTruth
+from repro.datasets.sample import Sample
+from repro.datasets.simulation import SimulationGroundTruth
+from repro.routing.shortest_path import random_variation_routing, shortest_path_routing
+from repro.topology.generators import assign_queue_sizes
+from repro.topology.graph import DEFAULT_QUEUE_SIZE, SMALL_QUEUE_SIZE, Topology
+from repro.traffic.generators import gravity_traffic, scaled_to_utilization, uniform_traffic
+
+__all__ = ["DatasetConfig", "DatasetGenerator", "generate_dataset"]
+
+
+@dataclasses.dataclass
+class DatasetConfig:
+    """Knobs of the scenario sweep.
+
+    Attributes
+    ----------
+    num_samples:
+        Number of samples to generate.
+    small_queue_fraction:
+        Fraction of nodes given 1-packet buffers in each sample (the paper's
+        mixed-queue-size scenario).  Set to 0 to reproduce the original
+        RouteNet setting where all devices are identical.
+    utilization_range:
+        Per-sample peak link utilisation is drawn uniformly from this range.
+    traffic_model:
+        ``"uniform"`` or ``"gravity"``.
+    routing_variation:
+        When > 1, each sample draws one of the k shortest paths per pair at
+        random (k = ``routing_variation``); 1 means plain shortest path.
+    backend:
+        ``"analytic"`` (fast, default) or ``"simulation"`` (packet-level).
+    seed:
+        Seed of the sweep; every sample derives its own generator from it.
+    default_queue_size / small_queue_size:
+        Queue sizes (packets) of standard and constrained devices.
+    simulation_duration:
+        Measurement window when ``backend="simulation"``.
+    """
+
+    num_samples: int = 100
+    small_queue_fraction: float = 0.5
+    utilization_range: Sequence[float] = (0.3, 0.85)
+    traffic_model: str = "uniform"
+    routing_variation: int = 1
+    backend: str = "analytic"
+    seed: int = 0
+    default_queue_size: int = DEFAULT_QUEUE_SIZE
+    small_queue_size: int = SMALL_QUEUE_SIZE
+    simulation_duration: float = 2.0
+    noise_std: float = 0.03
+    mean_packet_size_bits: float = 8000.0
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        if not 0.0 <= self.small_queue_fraction <= 1.0:
+            raise ValueError("small_queue_fraction must be in [0, 1]")
+        low, high = self.utilization_range
+        if not 0.0 < low <= high:
+            raise ValueError("utilization_range must satisfy 0 < low <= high")
+        if self.traffic_model not in ("uniform", "gravity"):
+            raise ValueError(f"unknown traffic model '{self.traffic_model}'")
+        if self.routing_variation < 1:
+            raise ValueError("routing_variation must be at least 1")
+        if self.backend not in ("analytic", "simulation"):
+            raise ValueError(f"unknown backend '{self.backend}'")
+
+
+class DatasetGenerator:
+    """Generates datasets of :class:`Sample` objects for one base topology."""
+
+    def __init__(self, base_topology: Topology, config: Optional[DatasetConfig] = None) -> None:
+        self.base_topology = base_topology
+        self.config = config if config is not None else DatasetConfig()
+        if self.config.backend == "analytic":
+            self._ground_truth = AnalyticGroundTruth(
+                mean_packet_size_bits=self.config.mean_packet_size_bits,
+                noise_std=self.config.noise_std)
+        else:
+            self._ground_truth = SimulationGroundTruth(
+                duration=self.config.simulation_duration,
+                mean_packet_size_bits=self.config.mean_packet_size_bits)
+
+    # ------------------------------------------------------------------ #
+    def generate(self, progress: Optional[Callable[[int, int], None]] = None) -> List[Sample]:
+        """Generate ``config.num_samples`` samples."""
+        rng = np.random.default_rng(self.config.seed)
+        samples = []
+        for index in range(self.config.num_samples):
+            samples.append(self.generate_one(rng))
+            if progress is not None:
+                progress(index + 1, self.config.num_samples)
+        return samples
+
+    def generate_one(self, rng: np.random.Generator) -> Sample:
+        """Generate a single sample using the provided random generator."""
+        config = self.config
+        topology = assign_queue_sizes(
+            self.base_topology,
+            config.small_queue_fraction,
+            rng=rng,
+            default_queue_size=config.default_queue_size,
+            small_queue_size=config.small_queue_size,
+        )
+        if config.routing_variation > 1:
+            routing = random_variation_routing(topology, k=config.routing_variation, rng=rng)
+        else:
+            routing = shortest_path_routing(topology)
+
+        if config.traffic_model == "gravity":
+            traffic = gravity_traffic(topology.num_nodes, total_traffic=1.0, rng=rng)
+        else:
+            traffic = uniform_traffic(topology.num_nodes, 0.5, 1.5, rng=rng)
+        target_utilization = float(rng.uniform(*config.utilization_range))
+        traffic = scaled_to_utilization(traffic, routing, target_utilization)
+
+        sample = self._ground_truth.generate(topology, routing, traffic, rng=rng)
+        sample.metadata.update({
+            "target_utilization": target_utilization,
+            "small_queue_fraction": config.small_queue_fraction,
+            "topology_name": topology.name,
+        })
+        return sample
+
+
+def generate_dataset(base_topology: Topology, config: Optional[DatasetConfig] = None,
+                     progress: Optional[Callable[[int, int], None]] = None) -> List[Sample]:
+    """Convenience wrapper around :class:`DatasetGenerator`."""
+    return DatasetGenerator(base_topology, config).generate(progress=progress)

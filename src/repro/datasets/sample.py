@@ -1,0 +1,113 @@
+"""The :class:`Sample`: one scenario plus its measured per-path performance."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.scheme import RoutingScheme
+from repro.topology.graph import Topology
+from repro.topology.io import topology_from_dict, topology_to_dict
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = ["Sample"]
+
+
+@dataclasses.dataclass
+class Sample:
+    """One dataset entry.
+
+    Attributes
+    ----------
+    topology:
+        The topology, including per-node queue sizes (the node feature).
+    routing:
+        The routing scheme whose pairs define the order of the target arrays.
+    traffic:
+        The end-to-end traffic matrix.
+    delays:
+        Per-pair average delay in seconds, in :meth:`RoutingScheme.pairs` order.
+    jitters, losses:
+        Optional per-pair jitter (seconds) and loss ratio, same order.
+    metadata:
+        Free-form information about how the sample was generated.
+    """
+
+    topology: Topology
+    routing: RoutingScheme
+    traffic: TrafficMatrix
+    delays: np.ndarray
+    jitters: Optional[np.ndarray] = None
+    losses: Optional[np.ndarray] = None
+    metadata: Dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.delays = np.asarray(self.delays, dtype=np.float64)
+        if self.delays.shape != (self.routing.num_paths,):
+            raise ValueError(
+                f"expected {self.routing.num_paths} delays, got shape {self.delays.shape}")
+        if np.any(~np.isfinite(self.delays)) or np.any(self.delays < 0):
+            raise ValueError("delays must be finite and non-negative")
+        for name in ("jitters", "losses"):
+            value = getattr(self, name)
+            if value is not None:
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != self.delays.shape:
+                    raise ValueError(f"{name} must match the delay vector shape")
+                setattr(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pair_order(self) -> List[Tuple[int, int]]:
+        """The (source, destination) order of every per-path array."""
+        return self.routing.pairs()
+
+    @property
+    def num_paths(self) -> int:
+        return self.routing.num_paths
+
+    def delay(self, source: int, destination: int) -> float:
+        """Delay of one pair in seconds."""
+        return float(self.delays[self.pair_order.index((source, destination))])
+
+    def queue_sizes(self) -> Dict[int, int]:
+        """Per-node queue sizes of the scenario."""
+        return self.topology.queue_sizes()
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation (used by dataset storage)."""
+        payload = {
+            "topology": topology_to_dict(self.topology),
+            "routing": self.routing.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "delays": self.delays.tolist(),
+            "metadata": dict(self.metadata),
+        }
+        if self.jitters is not None:
+            payload["jitters"] = self.jitters.tolist()
+        if self.losses is not None:
+            payload["losses"] = self.losses.tolist()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Sample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        topology = topology_from_dict(payload["topology"])
+        routing = RoutingScheme.from_dict(topology, payload["routing"])
+        traffic = TrafficMatrix.from_dict(payload["traffic"])
+        return cls(
+            topology=topology,
+            routing=routing,
+            traffic=traffic,
+            delays=np.asarray(payload["delays"]),
+            jitters=np.asarray(payload["jitters"]) if "jitters" in payload else None,
+            losses=np.asarray(payload["losses"]) if "losses" in payload else None,
+            metadata=payload.get("metadata", {}),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Sample(topology='{self.topology.name}', paths={self.num_paths}, "
+                f"mean_delay={self.delays.mean():.4g}s)")

@@ -1,0 +1,39 @@
+"""Deterministic train/validation/test splitting of sample lists."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.sample import Sample
+
+__all__ = ["train_val_test_split"]
+
+
+def train_val_test_split(samples: Sequence[Sample], train_fraction: float = 0.7,
+                         val_fraction: float = 0.15, seed: int = 0,
+                         ) -> Tuple[List[Sample], List[Sample], List[Sample]]:
+    """Shuffle and split samples into train/validation/test lists.
+
+    The three fractions must satisfy ``0 < train``, ``0 <= val`` and
+    ``train + val < 1``; the remainder becomes the test set.  With fewer
+    samples than strictly needed the split still guarantees a non-empty
+    training set.
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValueError("cannot split an empty dataset")
+    if train_fraction <= 0 or val_fraction < 0 or train_fraction + val_fraction >= 1.0:
+        raise ValueError("fractions must satisfy 0 < train, 0 <= val, train + val < 1")
+
+    order = np.random.default_rng(seed).permutation(len(samples))
+    shuffled = [samples[i] for i in order]
+    num_train = max(1, int(round(train_fraction * len(shuffled))))
+    num_val = int(round(val_fraction * len(shuffled)))
+    num_train = min(num_train, len(shuffled))
+    num_val = min(num_val, len(shuffled) - num_train)
+    train = shuffled[:num_train]
+    val = shuffled[num_train:num_train + num_val]
+    test = shuffled[num_train + num_val:]
+    return train, val, test

@@ -1,0 +1,51 @@
+"""Persisting datasets (lists of samples plus their normaliser) to disk."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sample import Sample
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(samples: Sequence[Sample], path: str,
+                 normalizer: Optional[FeatureNormalizer] = None,
+                 metadata: Optional[dict] = None) -> str:
+    """Write samples (and optionally their normaliser) to a gzipped JSON file.
+
+    Returns the path written; ``.json.gz`` is appended when missing.
+    """
+    if not path.endswith(".json.gz"):
+        path = path + ".json.gz"
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = {
+        "format_version": 1,
+        "metadata": metadata or {},
+        "normalizer": normalizer.to_dict() if normalizer is not None else None,
+        "samples": [sample.to_dict() for sample in samples],
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_dataset(path: str) -> Tuple[List[Sample], Optional[FeatureNormalizer], dict]:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Returns ``(samples, normalizer_or_None, metadata)``.
+    """
+    if not path.endswith(".json.gz"):
+        path = path + ".json.gz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no dataset file at '{path}'")
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    samples = [Sample.from_dict(entry) for entry in payload["samples"]]
+    normalizer = (FeatureNormalizer.from_dict(payload["normalizer"])
+                  if payload.get("normalizer") else None)
+    return samples, normalizer, payload.get("metadata", {})

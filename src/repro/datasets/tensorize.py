@@ -1,0 +1,160 @@
+"""Convert a :class:`Sample` into the arrays RouteNet's message passing needs.
+
+Both models process one sample (one topology + routing + traffic matrix) at a
+time.  The tensorised form flattens the variable-length paths into padded
+index matrices, mirroring how the reference TensorFlow implementation feeds
+``tf.gather`` / ``unsorted_segment_sum``:
+
+* ``link_features``   (num_links, 1)   — normalised capacity per link;
+* ``node_features``   (num_nodes, 1)   — normalised queue size per node;
+* ``path_features``   (num_paths, 1)   — normalised traffic per path;
+* ``link_sequences``  (num_paths, max_len) — link index at every hop (0-padded);
+* ``node_sequences``  (num_paths, max_len) — *sending* node at every hop
+  (the device whose output queue the packet waits in, 0-padded);
+* ``sequence_mask``   (num_paths, max_len) — 1 for real hops, 0 for padding;
+* ``targets``         (num_paths,)     — normalised delays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sample import Sample
+
+__all__ = ["TensorizedSample", "tensorize_sample"]
+
+
+@dataclasses.dataclass
+class TensorizedSample:
+    """Dense arrays describing one sample for the models."""
+
+    link_features: np.ndarray
+    node_features: np.ndarray
+    path_features: np.ndarray
+    link_sequences: np.ndarray
+    node_sequences: np.ndarray
+    sequence_mask: np.ndarray
+    path_lengths: np.ndarray
+    targets: np.ndarray
+    raw_delays: np.ndarray
+    pair_order: List[Tuple[int, int]]
+    #: Which per-path metric ``targets`` holds ("delay", "jitter" or "loss").
+    target_name: str = "delay"
+    #: The un-normalised values of the selected target metric.
+    raw_targets: Optional[np.ndarray] = None
+
+    @property
+    def num_paths(self) -> int:
+        return self.path_features.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        return self.link_features.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def max_path_length(self) -> int:
+        return self.link_sequences.shape[1]
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and property checks)."""
+        if self.link_sequences.shape != self.node_sequences.shape:
+            raise ValueError("link and node sequences must share a shape")
+        if self.sequence_mask.shape != self.link_sequences.shape:
+            raise ValueError("mask shape mismatch")
+        if self.targets.shape != (self.num_paths,):
+            raise ValueError("targets shape mismatch")
+        if np.any(self.path_lengths < 1):
+            raise ValueError("every path must have at least one hop")
+        lengths_from_mask = self.sequence_mask.sum(axis=1).astype(int)
+        if not np.array_equal(lengths_from_mask, self.path_lengths):
+            raise ValueError("mask does not agree with path lengths")
+        if self.link_sequences.max(initial=0) >= self.num_links:
+            raise ValueError("link index out of range")
+        if self.node_sequences.max(initial=0) >= self.num_nodes:
+            raise ValueError("node index out of range")
+
+
+def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = None,
+                     target: str = "delay") -> TensorizedSample:
+    """Build the dense arrays for one sample.
+
+    When ``normalizer`` is ``None`` the raw physical values are used
+    (useful for inspection); models should always receive normalised data.
+
+    ``target`` selects the regression target: ``"delay"`` (default),
+    ``"jitter"`` or ``"loss"`` — the sample must carry the requested metric.
+    """
+    if target not in ("delay", "jitter", "loss"):
+        raise ValueError(f"unknown target '{target}'")
+    topology = sample.topology
+    routing = sample.routing
+    pair_order = sample.pair_order
+
+    capacities = np.array([spec.capacity for spec in topology.links()], dtype=np.float64)
+    queue_sizes = np.array([topology.node_spec(n).queue_size for n in topology.nodes()],
+                           dtype=np.float64)
+    traffic = sample.traffic.as_vector(pair_order)
+    delays = sample.delays.copy()
+    if target == "delay":
+        raw_targets = delays.copy()
+    elif target == "jitter":
+        if sample.jitters is None:
+            raise ValueError("sample carries no jitter measurements")
+        raw_targets = sample.jitters.copy()
+    else:
+        if sample.losses is None:
+            raise ValueError("sample carries no loss measurements")
+        raw_targets = sample.losses.copy()
+
+    link_paths = routing.link_paths()
+    node_paths = routing.node_paths()
+    lengths = np.array([len(p) for p in link_paths], dtype=np.int64)
+    max_len = int(lengths.max())
+    num_paths = len(link_paths)
+
+    link_sequences = np.zeros((num_paths, max_len), dtype=np.int64)
+    node_sequences = np.zeros((num_paths, max_len), dtype=np.int64)
+    mask = np.zeros((num_paths, max_len), dtype=np.float64)
+    for row, (links, nodes) in enumerate(zip(link_paths, node_paths)):
+        length = len(links)
+        link_sequences[row, :length] = links
+        # The sending node of hop h is nodes[h]; its output queue is the one
+        # the packet occupies before traversing links[h].
+        node_sequences[row, :length] = nodes[:-1]
+        mask[row, :length] = 1.0
+
+    if normalizer is not None:
+        link_features = normalizer.normalize("capacity", capacities)[:, None]
+        node_features = normalizer.normalize("queue_size", queue_sizes)[:, None]
+        path_features = normalizer.normalize("traffic", traffic)[:, None]
+        targets = normalizer.normalize(target, raw_targets)
+    else:
+        link_features = capacities[:, None]
+        node_features = queue_sizes[:, None]
+        path_features = traffic[:, None]
+        targets = raw_targets.copy()
+
+    tensorized = TensorizedSample(
+        link_features=link_features,
+        node_features=node_features,
+        path_features=path_features,
+        link_sequences=link_sequences,
+        node_sequences=node_sequences,
+        sequence_mask=mask,
+        path_lengths=lengths,
+        targets=targets,
+        raw_delays=delays,
+        pair_order=pair_order,
+        target_name=target,
+        raw_targets=raw_targets,
+    )
+    tensorized.validate()
+    return tensorized

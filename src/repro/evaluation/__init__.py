@@ -1,0 +1,6 @@
+"""Evaluation helpers: relative-error CDFs and textual comparison reports."""
+
+from repro.evaluation.cdf import ErrorCDF, compare_cdfs
+from repro.evaluation.report import format_cdf_table, format_metrics_table
+
+__all__ = ["ErrorCDF", "compare_cdfs", "format_cdf_table", "format_metrics_table"]

@@ -1,0 +1,81 @@
+"""Cumulative distribution functions of prediction errors (Fig. 2 of the paper)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["ErrorCDF", "compare_cdfs"]
+
+
+@dataclasses.dataclass
+class ErrorCDF:
+    """The empirical CDF of a set of (signed) relative errors."""
+
+    label: str
+    errors: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.errors = np.sort(np.asarray(self.errors, dtype=np.float64).ravel())
+        if self.errors.size == 0:
+            raise ValueError("an error CDF needs at least one observation")
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, x: float) -> float:
+        """Fraction of errors <= x."""
+        return float(np.searchsorted(self.errors, x, side="right") / self.errors.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of the error distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return float(np.quantile(self.errors, q))
+
+    def absolute_quantile(self, q: float) -> float:
+        """The q-quantile of |error| — e.g. q=0.9 gives the 90th-percentile error."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return float(np.quantile(np.abs(self.errors), q))
+
+    def mean_absolute_error(self) -> float:
+        """Mean absolute relative error."""
+        return float(np.abs(self.errors).mean())
+
+    def fraction_within(self, threshold: float) -> float:
+        """Fraction of predictions whose |relative error| is below ``threshold``."""
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        return float((np.abs(self.errors) <= threshold).mean())
+
+    def curve(self, num_points: int = 100) -> Dict[str, np.ndarray]:
+        """Sampled (x, F(x)) arrays for plotting/tabulating the CDF."""
+        xs = np.linspace(self.errors[0], self.errors[-1], num_points)
+        ys = np.searchsorted(self.errors, xs, side="right") / self.errors.size
+        return {"x": xs, "cdf": ys}
+
+
+def compare_cdfs(cdfs: Sequence[ErrorCDF], thresholds: Sequence[float] = (0.05, 0.1, 0.2, 0.5)
+                 ) -> List[Dict[str, float]]:
+    """Summarise several error CDFs side by side.
+
+    Returns one dictionary per CDF with its label, mean/median absolute
+    error, 90th/95th percentile absolute error and the fraction of paths
+    predicted within each threshold — the quantities one reads off Fig. 2.
+    """
+    if not cdfs:
+        raise ValueError("need at least one CDF to compare")
+    rows = []
+    for cdf in cdfs:
+        row: Dict[str, float] = {
+            "label": cdf.label,
+            "mean_abs_error": cdf.mean_absolute_error(),
+            "median_abs_error": cdf.absolute_quantile(0.5),
+            "p90_abs_error": cdf.absolute_quantile(0.9),
+            "p95_abs_error": cdf.absolute_quantile(0.95),
+        }
+        for threshold in thresholds:
+            row[f"within_{int(threshold * 100)}pct"] = cdf.fraction_within(threshold)
+        rows.append(row)
+    return rows

@@ -1,0 +1,63 @@
+"""Plain-text tables for benchmark output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation.cdf import ErrorCDF, compare_cdfs
+
+__all__ = ["format_metrics_table", "format_cdf_table"]
+
+
+def format_metrics_table(rows: Sequence[Dict[str, object]], float_format: str = "{:.4f}"
+                         ) -> str:
+    """Render a list of metric dictionaries as an aligned text table.
+
+    The first key of the first row is used as the label column; numeric
+    values are formatted with ``float_format``.
+    """
+    if not rows:
+        raise ValueError("cannot format an empty table")
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_cdf_table(cdfs: Sequence[ErrorCDF], num_points: int = 11) -> str:
+    """Tabulate several error CDFs over a shared grid of |relative error| values.
+
+    This is the textual equivalent of Fig. 2: each column is one model /
+    topology combination, each row reports the fraction of paths whose
+    absolute relative error is below the grid value.
+    """
+    if not cdfs:
+        raise ValueError("need at least one CDF")
+    upper = max(cdf.absolute_quantile(1.0) for cdf in cdfs)
+    grid = np.linspace(0.0, max(upper, 1e-6), num_points)
+    rows: List[Dict[str, object]] = []
+    for x in grid:
+        row: Dict[str, object] = {"abs_rel_error<=": float(x)}
+        for cdf in cdfs:
+            row[cdf.label] = cdf.fraction_within(float(x))
+        rows.append(row)
+    summary = compare_cdfs(cdfs)
+    table = format_metrics_table(rows, float_format="{:.3f}")
+    summary_table = format_metrics_table(summary, float_format="{:.3f}")
+    return table + "\n\nSummary:\n" + summary_table

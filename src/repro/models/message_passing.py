@@ -1,0 +1,113 @@
+"""Index bookkeeping and gather/scatter helpers for RouteNet message passing.
+
+The models operate on one :class:`~repro.datasets.tensorize.TensorizedSample`
+at a time.  This module precomputes the flat index arrays used every
+message-passing iteration:
+
+* for the **path update**, padded matrices of link / node indices per path
+  plus the validity mask (already provided by the tensorised sample);
+* for the **link update**, the flat list of (path, position) entries at
+  which each link appears, so the per-position outputs of the path RNN can
+  be segment-summed into per-link aggregated messages;
+* for the **node update** (extended model), the flat list of (path, node)
+  incidences so final path states can be summed per node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.tensorize import TensorizedSample
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, segment_sum
+
+__all__ = ["MessagePassingIndex", "build_index", "initial_state", "aggregate_positional_messages",
+           "aggregate_path_states_per_node"]
+
+
+@dataclasses.dataclass
+class MessagePassingIndex:
+    """Precomputed index arrays for one tensorised sample."""
+
+    #: (num_entries,) path id of every valid (path, position) pair.
+    entry_path_ids: np.ndarray
+    #: (num_entries,) position of the entry inside its path.
+    entry_positions: np.ndarray
+    #: (num_entries,) link traversed at that hop.
+    entry_link_ids: np.ndarray
+    #: (num_entries,) node whose queue the packet waits in at that hop.
+    entry_node_ids: np.ndarray
+    num_paths: int
+    num_links: int
+    num_nodes: int
+
+
+def build_index(sample: TensorizedSample) -> MessagePassingIndex:
+    """Flatten the padded sequences of a sample into valid (path, hop) entries."""
+    path_ids, positions = np.nonzero(sample.sequence_mask > 0)
+    return MessagePassingIndex(
+        entry_path_ids=path_ids.astype(np.int64),
+        entry_positions=positions.astype(np.int64),
+        entry_link_ids=sample.link_sequences[path_ids, positions].astype(np.int64),
+        entry_node_ids=sample.node_sequences[path_ids, positions].astype(np.int64),
+        num_paths=sample.num_paths,
+        num_links=sample.num_links,
+        num_nodes=sample.num_nodes,
+    )
+
+
+def initial_state(features: np.ndarray, state_dim: int) -> Tensor:
+    """Embed raw features into a fixed-size state by zero padding.
+
+    This mirrors the reference implementation: the first feature columns of
+    each state carry the known attributes (capacity, queue size, traffic) and
+    the remaining dimensions start at zero for the message passing to fill.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (entities, feature_dim)")
+    num_entities, feature_dim = features.shape
+    if feature_dim > state_dim:
+        raise ValueError(
+            f"feature dimension {feature_dim} exceeds the state size {state_dim}")
+    state = np.zeros((num_entities, state_dim), dtype=np.float64)
+    state[:, :feature_dim] = features
+    return Tensor(state)
+
+
+def aggregate_positional_messages(path_rnn_outputs: Tensor, index: MessagePassingIndex,
+                                  target: str) -> Tensor:
+    """Sum the path-RNN outputs at every hop into per-link or per-node messages.
+
+    ``path_rnn_outputs`` has shape (num_paths, max_len, dim); the output of
+    hop ``(p, t)`` is routed to the link (or node) that path ``p`` traverses
+    at position ``t`` and summed per target entity, exactly like
+    ``tf.math.unsorted_segment_sum`` in the reference implementation.
+    """
+    if target == "link":
+        segment_ids = index.entry_link_ids
+        num_segments = index.num_links
+    elif target == "node":
+        segment_ids = index.entry_node_ids
+        num_segments = index.num_nodes
+    else:
+        raise ValueError("target must be 'link' or 'node'")
+    selected = path_rnn_outputs[(index.entry_path_ids, index.entry_positions)]
+    return segment_sum(selected, segment_ids, num_segments)
+
+
+def aggregate_path_states_per_node(path_states: Tensor, index: MessagePassingIndex) -> Tensor:
+    """Element-wise sum of the states of all paths crossing each node.
+
+    This is the aggregation the paper describes for the node update: "first
+    performing an element-wise summation of all the path states associated
+    to the node".  A path is associated with a node when one of its hops
+    waits in that node's output queue.
+    """
+    # A path may cross a node once at most (paths are simple), so summing over
+    # hop entries is the same as summing over distinct (path, node) pairs.
+    gathered = path_states.gather(index.entry_path_ids)
+    return segment_sum(gathered, index.entry_node_ids, index.num_nodes)

@@ -1,0 +1,102 @@
+"""The original RouteNet architecture (link + path entities).
+
+Implements the message passing of Rusek et al. (SOSR 2019), which the paper
+uses as the reference baseline:
+
+1. every path reads the sequence of states of the links it traverses with a
+   recurrent unit (``RNN_P``), starting from the path's current state;
+2. every link aggregates (sums) the recurrent outputs produced at the hops
+   where it appears, and updates its state through ``RNN_L``;
+3. after ``T`` iterations a readout network maps the final path states to
+   per-path performance estimates (delay).
+
+The link capacity is encoded in the initial link state and the per-path
+traffic volume in the initial path state.  Queue sizes are *not* visible to
+this model — that is precisely the limitation the extended architecture
+removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.tensorize import TensorizedSample
+from repro.models.config import RouteNetConfig
+from repro.models.message_passing import (
+    MessagePassingIndex,
+    aggregate_positional_messages,
+    build_index,
+    initial_state,
+)
+from repro.models.readout import ReadoutMLP
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.recurrent import GRUCell, run_rnn_over_sequence
+from repro.nn.tensor import Tensor
+
+__all__ = ["RouteNet"]
+
+
+class RouteNet(Module):
+    """Original RouteNet: link and path entities only."""
+
+    def __init__(self, config: Optional[RouteNetConfig] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else RouteNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        # RNN_P: reads link states along the path, carrying the path state.
+        self.path_update = GRUCell(self.config.link_state_dim,
+                                   self.config.path_state_dim, rng=rng)
+        # RNN_L: updates a link state from the aggregated path messages.
+        self.link_update = GRUCell(self.config.path_state_dim,
+                                   self.config.link_state_dim, rng=rng)
+        self.readout = ReadoutMLP(self.config.path_state_dim,
+                                  hidden_sizes=self.config.readout_hidden_sizes,
+                                  activation=self.config.readout_activation,
+                                  output_positive=self.config.output_positive,
+                                  rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, sample: TensorizedSample) -> Tensor:
+        """Predict (normalised) per-path delays for one sample."""
+        index = build_index(sample)
+        link_states = initial_state(sample.link_features, self.config.link_state_dim)
+        path_states = initial_state(sample.path_features, self.config.path_state_dim)
+
+        for _ in range(self.config.message_passing_iterations):
+            path_states, link_states = self._message_passing_step(
+                sample, index, path_states, link_states)
+
+        return self.readout(path_states)
+
+    # ------------------------------------------------------------------ #
+    def _message_passing_step(self, sample: TensorizedSample, index: MessagePassingIndex,
+                              path_states: Tensor, link_states: Tensor):
+        # Path update: scan RNN_P over the per-path sequence of link states.
+        sequence = self._gather_link_sequence(sample, link_states)
+        outputs, new_path_states = run_rnn_over_sequence(
+            self.path_update, sequence, sample.sequence_mask, initial_state=path_states)
+
+        # Link update: sum the RNN outputs emitted at each traversal of a link
+        # and feed them to RNN_L with the link state as hidden state.
+        link_messages = aggregate_positional_messages(outputs, index, target="link")
+        new_link_states = self.link_update(link_messages, link_states)
+        return new_path_states, new_link_states
+
+    def _gather_link_sequence(self, sample: TensorizedSample, link_states: Tensor) -> Tensor:
+        steps = [link_states.gather(sample.link_sequences[:, position])
+                 for position in range(sample.max_path_length)]
+        return F.stack(steps, axis=1)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, sample: TensorizedSample) -> np.ndarray:
+        """Inference helper returning a NumPy array (no autograd graph)."""
+        from repro.nn.tensor import no_grad
+
+        self.eval()
+        with no_grad():
+            predictions = self.forward(sample)
+        self.train()
+        return predictions.data.copy()

@@ -1,0 +1,187 @@
+"""Supervised training and evaluation of RouteNet-family models on datasets."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sample import Sample
+from repro.datasets.tensorize import TensorizedSample, tensorize_sample
+from repro.nn import metrics as nn_metrics
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.module import Module
+from repro.nn.optimizers import Adam, clip_gradients_by_norm
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.training import EarlyStopping, History
+
+__all__ = ["TrainerConfig", "RouteNetTrainer", "evaluate_model"]
+
+
+@dataclasses.dataclass
+class TrainerConfig:
+    """Hyper-parameters of RouteNet training.
+
+    ``target`` selects which per-path metric the model regresses:
+    ``"delay"`` (the paper's Fig. 2 experiment), ``"jitter"`` or ``"loss"``.
+    """
+
+    epochs: int = 20
+    learning_rate: float = 0.001
+    loss: str = "mse"
+    target: str = "delay"
+    gradient_clip_norm: float = 1.0
+    shuffle: bool = True
+    early_stopping_patience: Optional[int] = None
+    seed: int = 0
+    log_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if self.loss not in ("mse", "huber"):
+            raise ValueError("loss must be 'mse' or 'huber'")
+        if self.target not in ("delay", "jitter", "loss"):
+            raise ValueError("target must be 'delay', 'jitter' or 'loss'")
+
+
+class RouteNetTrainer:
+    """Trains a RouteNet-family model on lists of :class:`Sample` objects.
+
+    The trainer owns the :class:`FeatureNormalizer` (fitted on the training
+    set) and the tensorisation step, so user code deals only with samples.
+    """
+
+    def __init__(self, model: Module, config: Optional[TrainerConfig] = None,
+                 normalizer: Optional[FeatureNormalizer] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else TrainerConfig()
+        self.normalizer = normalizer
+        self.optimizer = Adam(model.parameters(), learning_rate=self.config.learning_rate)
+        self.history = History()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def _loss(self, predictions: Tensor, targets: np.ndarray) -> Tensor:
+        target_tensor = Tensor(targets)
+        if self.config.loss == "huber":
+            return huber_loss(predictions, target_tensor)
+        return mse_loss(predictions, target_tensor)
+
+    def prepare(self, samples: Sequence[Sample]) -> List[TensorizedSample]:
+        """Tensorise samples with the trainer's normaliser (fitting it if needed)."""
+        if self.normalizer is None:
+            self.normalizer = FeatureNormalizer().fit(samples)
+        return [tensorize_sample(sample, self.normalizer, target=self.config.target)
+                for sample in samples]
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, sample: TensorizedSample) -> float:
+        """One optimisation step on a single (tensorised) sample."""
+        self.optimizer.zero_grad()
+        predictions = self.model(sample)
+        loss = self._loss(predictions, sample.targets)
+        loss.backward()
+        if self.config.gradient_clip_norm > 0:
+            clip_gradients_by_norm(self.model.parameters(), self.config.gradient_clip_norm)
+        self.optimizer.step()
+        return float(loss.item())
+
+    def evaluate_loss(self, samples: Sequence[TensorizedSample]) -> float:
+        """Average loss over tensorised samples without updating parameters."""
+        if not samples:
+            raise ValueError("evaluate_loss needs at least one sample")
+        losses = []
+        with no_grad():
+            for sample in samples:
+                predictions = self.model(sample)
+                losses.append(float(self._loss(predictions, sample.targets).item()))
+        return float(np.mean(losses))
+
+    def fit(self, train_samples: Sequence[Sample],
+            val_samples: Optional[Sequence[Sample]] = None) -> History:
+        """Train for ``config.epochs`` epochs and return the loss history."""
+        import time
+
+        train_items = self.prepare(train_samples)
+        val_items = ([tensorize_sample(s, self.normalizer, target=self.config.target)
+                      for s in val_samples]
+                     if val_samples else None)
+        stopper = (EarlyStopping(patience=self.config.early_stopping_patience, min_delta=1e-6)
+                   if self.config.early_stopping_patience else None)
+
+        for epoch in range(1, self.config.epochs + 1):
+            start = time.perf_counter()
+            order = np.arange(len(train_items))
+            if self.config.shuffle:
+                self._rng.shuffle(order)
+            epoch_losses = [self.train_step(train_items[i]) for i in order]
+            train_loss = float(np.mean(epoch_losses))
+            val_loss = self.evaluate_loss(val_items) if val_items else None
+            self.history.record(epoch, train_loss, val_loss, time.perf_counter() - start)
+
+            if self.config.log_every and epoch % self.config.log_every == 0:
+                message = f"epoch {epoch:3d}  train={train_loss:.5f}"
+                if val_loss is not None:
+                    message += f"  val={val_loss:.5f}"
+                print(message)
+
+            if stopper is not None:
+                monitored = val_loss if val_loss is not None else train_loss
+                if stopper.update(monitored, epoch):
+                    break
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def predict_metric(self, sample: Sample) -> np.ndarray:
+        """Predict the trainer's target metric (denormalised) for one sample."""
+        if self.normalizer is None:
+            raise RuntimeError("trainer has no normalizer; call fit() or prepare() first")
+        tensorized = tensorize_sample(sample, self.normalizer, target=self.config.target)
+        normalised = self.model.predict(tensorized)
+        return self.normalizer.denormalize(self.config.target, normalised)
+
+    def predict_delays(self, sample: Sample) -> np.ndarray:
+        """Predict *denormalised* per-path delays (seconds) for one sample.
+
+        Only valid when the trainer's target is ``"delay"``.
+        """
+        if self.config.target != "delay":
+            raise RuntimeError("predict_delays() requires a delay-target trainer; "
+                               "use predict_metric() instead")
+        return self.predict_metric(sample)
+
+
+def evaluate_model(model: Module, samples: Sequence[Sample],
+                   normalizer: FeatureNormalizer, target: str = "delay") -> Dict[str, object]:
+    """Evaluate a trained model on samples, reporting paper-style metrics.
+
+    Returns a dictionary with the concatenated per-path relative errors
+    (``relative_errors``), their mean/median, MAPE, RMSE and Pearson
+    correlation on the denormalised values of ``target`` (delay by default).
+    """
+    if not samples:
+        raise ValueError("evaluation needs at least one sample")
+    all_predictions: List[np.ndarray] = []
+    all_targets: List[np.ndarray] = []
+    for sample in samples:
+        tensorized = tensorize_sample(sample, normalizer, target=target)
+        normalised = model.predict(tensorized)
+        all_predictions.append(normalizer.denormalize(target, normalised))
+        all_targets.append(tensorized.raw_targets)
+    predictions = np.concatenate(all_predictions)
+    targets = np.concatenate(all_targets)
+    errors = nn_metrics.relative_errors(predictions, targets)
+    return {
+        "relative_errors": errors,
+        "mean_relative_error": float(np.abs(errors).mean()),
+        "median_relative_error": float(np.median(np.abs(errors))),
+        "mape_percent": nn_metrics.mean_absolute_percentage_error(predictions, targets),
+        "rmse": nn_metrics.root_mean_squared_error(predictions, targets),
+        "pearson": nn_metrics.pearson_correlation(predictions, targets),
+        "num_paths": int(predictions.size),
+    }

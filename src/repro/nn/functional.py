@@ -1,0 +1,146 @@
+"""Functional wrappers around :class:`repro.nn.tensor.Tensor` operations.
+
+These helpers make model code read close to the reference TensorFlow
+implementation of RouteNet (``tf.concat``, ``tf.math.unsorted_segment_sum``,
+``tf.gather`` …) while staying within the NumPy autograd substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    segment_mean,
+    segment_sum,
+    stack,
+    where,
+)
+
+__all__ = [
+    "concat",
+    "stack",
+    "where",
+    "segment_sum",
+    "segment_mean",
+    "gather",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "exp",
+    "log",
+    "clip",
+    "dropout",
+    "leaky_relu",
+    "elu",
+    "selu",
+    "softmax",
+    "l2_norm",
+    "one_hot",
+]
+
+
+def gather(data: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows from ``data`` (see :meth:`Tensor.gather`)."""
+    return as_tensor(data).gather(indices)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Softplus activation ``log(1 + exp(x))``."""
+    return as_tensor(x).softplus()
+
+
+def exp(x: Tensor) -> Tensor:
+    """Element-wise exponential."""
+    return as_tensor(x).exp()
+
+
+def log(x: Tensor) -> Tensor:
+    """Element-wise natural logarithm."""
+    return as_tensor(x).log()
+
+
+def clip(x: Tensor, min_value: Optional[float] = None, max_value: Optional[float] = None) -> Tensor:
+    """Clip values to ``[min_value, max_value]``."""
+    return as_tensor(x).clip(min_value, max_value)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU activation."""
+    x = as_tensor(x)
+    return where(x.data > 0, x, x * negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    x = as_tensor(x)
+    return where(x.data > 0, x, (x.exp() - 1.0) * alpha)
+
+
+def selu(x: Tensor) -> Tensor:
+    """Scaled exponential linear unit (Klambauer et al., 2017 constants)."""
+    alpha = 1.6732632423543772
+    scale = 1.0507009873554805
+    return elu(x, alpha=alpha) * scale
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - np.max(x.data, axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` of entries during training."""
+    if not training or rate <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    generator = rng if rng is not None else np.random.default_rng()
+    x = as_tensor(x)
+    mask = (generator.random(x.shape) >= rate).astype(x.dtype) / (1.0 - rate)
+    return x * mask
+
+
+def l2_norm(tensors: Iterable[Tensor]) -> Tensor:
+    """Sum of squared entries across a collection of tensors (for weight decay)."""
+    total: Optional[Tensor] = None
+    for t in tensors:
+        term = (as_tensor(t) ** 2).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def one_hot(indices: Sequence[int], depth: int) -> Tensor:
+    """Encode integer ``indices`` as one-hot rows of width ``depth``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= depth):
+        raise ValueError("index out of range for one-hot encoding")
+    out = np.zeros((indices.shape[0], depth), dtype=np.float64)
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return Tensor(out)

@@ -1,0 +1,95 @@
+"""Weight initialisation schemes used by the layers in :mod:`repro.nn`."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "he_normal",
+    "orthogonal",
+    "normal_init",
+    "uniform_init",
+    "zeros_init",
+    "ones_init",
+]
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (good default for tanh/sigmoid nets)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He uniform initialisation (good default for ReLU nets)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He normal initialisation."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: Tuple[int, ...], gain: float = 1.0,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Orthogonal initialisation (recommended for recurrent weight matrices)."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal initialisation requires at least 2 dimensions")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = _rng(rng).normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return gain * q.reshape(shape)
+
+
+def normal_init(shape: Tuple[int, ...], std: float = 0.05,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Gaussian initialisation with standard deviation ``std``."""
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def uniform_init(shape: Tuple[int, ...], limit: float = 0.05,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform initialisation in ``[-limit, limit]``."""
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def ones_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-ones initialisation (used for normalisation gains)."""
+    return np.ones(shape)

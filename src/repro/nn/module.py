@@ -1,0 +1,129 @@
+"""Base classes for trainable components: :class:`Parameter` and :class:`Module`.
+
+A :class:`Module` owns named :class:`Parameter` objects and child modules, and
+exposes them through :meth:`Module.parameters` / :meth:`Module.named_parameters`
+so optimisers and serialisation helpers can treat any model uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are registered automatically.  Subclasses implement
+    :meth:`forward`, and instances are callable.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module (used for module lists)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable values."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State dict (serialisation)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its qualified name."""
+        return {name: np.array(param.data, copy=True) for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from a dictionary produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # Train / eval mode
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. dropout)."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(self._modules.keys())
+        return f"{self.__class__.__name__}({child_repr})"

@@ -1,0 +1,200 @@
+"""Gradient-descent optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "RMSProp",
+    "Adam",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+    "clip_gradients_by_norm",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Learning-rate schedules
+# ---------------------------------------------------------------------- #
+class ConstantSchedule:
+    """A constant learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate
+
+
+class ExponentialDecay:
+    """Learning rate ``lr * decay_rate ** (step / decay_steps)``."""
+
+    def __init__(self, initial_rate: float, decay_steps: int, decay_rate: float) -> None:
+        if initial_rate <= 0 or decay_steps <= 0 or not 0 < decay_rate <= 1:
+            raise ValueError("invalid exponential decay configuration")
+        self.initial_rate = initial_rate
+        self.decay_steps = decay_steps
+        self.decay_rate = decay_rate
+
+    def __call__(self, step: int) -> float:
+        return self.initial_rate * self.decay_rate ** (step / self.decay_steps)
+
+
+class StepDecay:
+    """Learning rate divided by ``factor`` every ``every`` steps."""
+
+    def __init__(self, initial_rate: float, every: int, factor: float = 10.0) -> None:
+        if initial_rate <= 0 or every <= 0 or factor <= 1:
+            raise ValueError("invalid step decay configuration")
+        self.initial_rate = initial_rate
+        self.every = every
+        self.factor = factor
+
+    def __call__(self, step: int) -> float:
+        return self.initial_rate / (self.factor ** (step // self.every))
+
+
+def _as_schedule(learning_rate) -> "ConstantSchedule":
+    if callable(learning_rate):
+        return learning_rate
+    return ConstantSchedule(float(learning_rate))
+
+
+def clip_gradients_by_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm does not exceed ``max_norm``.
+
+    Returns the norm before clipping (useful for logging exploding gradients).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# Optimisers
+# ---------------------------------------------------------------------- #
+class Optimizer:
+    """Base class: tracks parameters, step count and learning-rate schedule."""
+
+    def __init__(self, parameters: Iterable[Parameter], learning_rate=1e-3,
+                 weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.schedule = _as_schedule(learning_rate)
+        self.weight_decay = weight_decay
+        self.step_count = 0
+
+    @property
+    def learning_rate(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        lr = self.schedule(self.step_count)
+        for index, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._update(index, p, grad, lr)
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"step_count": self.step_count}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.step_count = int(state.get("step_count", 0))
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        param.data = param.data - lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with (optionally Nesterov) momentum."""
+
+    def __init__(self, parameters, learning_rate=1e-2, momentum: float = 0.9,
+                 nesterov: bool = False, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate, weight_decay)
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        velocity = self.momentum * self._velocity[index] - lr * grad
+        self._velocity[index] = velocity
+        if self.nesterov:
+            param.data = param.data + self.momentum * velocity - lr * grad
+        else:
+            param.data = param.data + velocity
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    def __init__(self, parameters, learning_rate=1e-3, rho: float = 0.9,
+                 epsilon: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate, weight_decay)
+        self.rho = rho
+        self.epsilon = epsilon
+        self._mean_square = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        self._mean_square[index] = (
+            self.rho * self._mean_square[index] + (1.0 - self.rho) * grad ** 2
+        )
+        param.data = param.data - lr * grad / (np.sqrt(self._mean_square[index]) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, parameters, learning_rate=1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate, weight_decay)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        self._first_moment[index] = self.beta1 * self._first_moment[index] + (1 - self.beta1) * grad
+        self._second_moment[index] = (
+            self.beta2 * self._second_moment[index] + (1 - self.beta2) * grad ** 2
+        )
+        first_hat = self._first_moment[index] / (1 - self.beta1 ** self.step_count)
+        second_hat = self._second_moment[index] / (1 - self.beta2 ** self.step_count)
+        param.data = param.data - lr * first_hat / (np.sqrt(second_hat) + self.epsilon)

@@ -1,0 +1,175 @@
+"""Recurrent cells (GRU, LSTM) and sequence-scan helpers.
+
+RouteNet's message passing uses recurrent cells in two roles:
+
+* as the *update functions* of link/node states (one step per message-passing
+  iteration), and
+* as the *path update*, which reads an ordered sequence of link (and, in the
+  extended architecture, node) states along each path.
+
+Both roles are covered by the cell classes here together with
+:func:`run_rnn_over_sequence`, which scans a cell over a padded batch of
+sequences with a mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, as_tensor, where
+
+__all__ = ["RNNCellBase", "GRUCell", "LSTMCell", "run_rnn_over_sequence"]
+
+
+class RNNCellBase(Module):
+    """Common interface for recurrent cells: ``new_state = cell(inputs, state)``."""
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        """Return an all-zeros hidden state for ``batch_size`` sequences."""
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def forward(self, inputs: Tensor, state: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class GRUCell(RNNCellBase):
+    """Gated recurrent unit cell (Cho et al., 2014).
+
+    Follows the standard formulation::
+
+        z = sigmoid(x Wz + h Uz + bz)      (update gate)
+        r = sigmoid(x Wr + h Ur + br)      (reset gate)
+        n = tanh(x Wn + (r * h) Un + bn)   (candidate)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(input_size, hidden_size)
+        generator = rng if rng is not None else np.random.default_rng()
+        # Input-to-hidden weights for the three gates, stacked for efficiency.
+        self.weight_input = Parameter(
+            glorot_uniform((input_size, 3 * hidden_size), rng=generator), name="weight_input")
+        # Hidden-to-hidden weights.
+        self.weight_hidden = Parameter(
+            orthogonal((hidden_size, 3 * hidden_size), rng=generator), name="weight_hidden")
+        self.bias = Parameter(zeros_init((3 * hidden_size,)), name="bias")
+
+    def forward(self, inputs: Tensor, state: Tensor) -> Tensor:
+        inputs = as_tensor(inputs)
+        state = as_tensor(state)
+        hidden = self.hidden_size
+        gates_x = inputs.matmul(self.weight_input) + self.bias
+        gates_h = state.matmul(self.weight_hidden)
+
+        update_gate = (gates_x[:, :hidden] + gates_h[:, :hidden]).sigmoid()
+        reset_gate = (gates_x[:, hidden:2 * hidden] + gates_h[:, hidden:2 * hidden]).sigmoid()
+        candidate = (gates_x[:, 2 * hidden:] + reset_gate * gates_h[:, 2 * hidden:]).tanh()
+        return (1.0 - update_gate) * candidate + update_gate * state
+
+
+class LSTMCell(RNNCellBase):
+    """Long short-term memory cell.
+
+    The state is the concatenation ``[h, c]`` of the hidden and cell states so
+    the interface matches :class:`GRUCell` (a single state tensor); use
+    :meth:`split_state` to recover the two halves.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(input_size, hidden_size)
+        generator = rng if rng is not None else np.random.default_rng()
+        self.weight_input = Parameter(
+            glorot_uniform((input_size, 4 * hidden_size), rng=generator), name="weight_input")
+        self.weight_hidden = Parameter(
+            orthogonal((hidden_size, 4 * hidden_size), rng=generator), name="weight_hidden")
+        self.bias = Parameter(zeros_init((4 * hidden_size,)), name="bias")
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, 2 * self.hidden_size)))
+
+    @staticmethod
+    def split_state(state: Tensor) -> Tuple[Tensor, Tensor]:
+        """Split the packed ``[h, c]`` state into ``(h, c)``."""
+        hidden = state.shape[-1] // 2
+        return state[:, :hidden], state[:, hidden:]
+
+    def forward(self, inputs: Tensor, state: Tensor) -> Tensor:
+        inputs = as_tensor(inputs)
+        state = as_tensor(state)
+        hidden = self.hidden_size
+        h_prev, c_prev = self.split_state(state)
+
+        gates = inputs.matmul(self.weight_input) + h_prev.matmul(self.weight_hidden) + self.bias
+        input_gate = gates[:, :hidden].sigmoid()
+        forget_gate = gates[:, hidden:2 * hidden].sigmoid()
+        output_gate = gates[:, 2 * hidden:3 * hidden].sigmoid()
+        candidate = gates[:, 3 * hidden:].tanh()
+
+        c_new = forget_gate * c_prev + input_gate * candidate
+        h_new = output_gate * c_new.tanh()
+        return F.concat([h_new, c_new], axis=1)
+
+    def hidden_output(self, state: Tensor) -> Tensor:
+        """Return the hidden half of the packed state (the cell's output)."""
+        return self.split_state(state)[0]
+
+
+def run_rnn_over_sequence(
+    cell: RNNCellBase,
+    sequence: Tensor,
+    mask: np.ndarray,
+    initial_state: Optional[Tensor] = None,
+) -> Tuple[Tensor, Tensor]:
+    """Scan ``cell`` over a padded batch of sequences.
+
+    Parameters
+    ----------
+    cell:
+        The recurrent cell to apply.
+    sequence:
+        Tensor of shape ``(batch, max_len, input_size)``.
+    mask:
+        Boolean/0-1 array of shape ``(batch, max_len)``; positions with mask 0
+        leave the state unchanged (padding).
+    initial_state:
+        Optional initial state; defaults to zeros.
+
+    Returns
+    -------
+    (outputs, final_state):
+        ``outputs`` has shape ``(batch, max_len, state_size)`` holding the
+        state after each step; ``final_state`` is the state after the last
+        valid step of every sequence.
+    """
+    sequence = as_tensor(sequence)
+    if sequence.ndim != 3:
+        raise ValueError("sequence must have shape (batch, max_len, input_size)")
+    batch, max_len, _ = sequence.shape
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != (batch, max_len):
+        raise ValueError(f"mask shape {mask.shape} does not match sequence {(batch, max_len)}")
+
+    state = initial_state if initial_state is not None else cell.initial_state(batch)
+    outputs = []
+    for step in range(max_len):
+        step_input = sequence[:, step, :]
+        new_state = cell(step_input, state)
+        step_mask = mask[:, step].reshape(batch, 1)
+        state = where(step_mask > 0, new_state, state)
+        outputs.append(state)
+    stacked = F.stack(outputs, axis=1)
+    return stacked, state

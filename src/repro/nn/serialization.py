@@ -1,0 +1,65 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_parameters", "load_parameters", "save_checkpoint", "load_checkpoint"]
+
+
+def save_parameters(module: Module, path: str) -> str:
+    """Save every parameter of ``module`` to a compressed ``.npz`` file.
+
+    Returns the path written (with the ``.npz`` suffix added if missing).
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    # ``/`` is not a legal npz key separator on all platforms; keep dots.
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_parameters(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters saved with :func:`save_parameters` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no parameter file at '{path}'")
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)
+    return module
+
+
+def save_checkpoint(module: Module, path: str, metadata: Optional[dict] = None) -> str:
+    """Save parameters plus a JSON sidecar of training metadata."""
+    written = save_parameters(module, path)
+    if metadata is not None:
+        sidecar = written[: -len(".npz")] + ".json"
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle, indent=2, sort_keys=True)
+    return written
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> dict:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the metadata dictionary (empty if no sidecar exists).
+    """
+    load_parameters(module, path, strict=strict)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    sidecar = path[: -len(".npz")] + ".json"
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return {}

@@ -1,0 +1,615 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+The :class:`Tensor` class wraps a :class:`numpy.ndarray` and records the
+operations applied to it in a dynamic computation graph.  Calling
+:meth:`Tensor.backward` on a scalar result propagates gradients to every
+tensor created with ``requires_grad=True``.
+
+Only the operations required by the RouteNet family of models (and their
+tests) are implemented, but each one supports full NumPy broadcasting and is
+verified against finite differences in the test-suite.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking.
+
+    Use it for inference-only code paths to avoid building the autograd
+    graph::
+
+        with nn.no_grad():
+            predictions = model(sample)
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over the leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    __array_priority__ = 200  # ensure ndarray op Tensor dispatches to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple[Tensor, ...] = tuple(_parents) if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"grad shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        # Topological sort of the graph reachable from ``self``.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other_t._accumulate(_unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+            other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+            other_t._accumulate(
+                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
+            )
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * (self.data ** (exponent - 1)))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix multiplication (2-D by 2-D, or batched via NumPy rules)."""
+        other_t = as_tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    grad_self = np.outer(grad, other_t.data) if self.data.ndim == 2 else grad * other_t.data
+                else:
+                    grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.outer(self.data, grad) if other_t.data.ndim == 2 else grad * self.data
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other_t._accumulate(_unbroadcast(grad_other, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_expanded = grad
+            if axis is not None and not keepdims:
+                grad_expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad_expanded, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_expanded = grad
+            out_expanded = out_data
+            if axis is not None and not keepdims:
+                grad_expanded = np.expand_dims(grad, axis=axis)
+                out_expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == out_expanded).astype(self.data.dtype)
+            # Split the gradient evenly among ties, matching TF behaviour.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * grad_expanded / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Element-wise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable sigmoid.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-self.data)),
+            np.exp(self.data) / (1.0 + np.exp(self.data)),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        # log(1 + exp(x)) computed stably.
+        out_data = np.logaddexp(0.0, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            sig = np.where(
+                self.data >= 0,
+                1.0 / (1.0 + np.exp(-self.data)),
+                np.exp(self.data) / (1.0 + np.exp(self.data)),
+            )
+            self._accumulate(grad * sig)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, min_value: Optional[float] = None, max_value: Optional[float] = None) -> "Tensor":
+        out_data = np.clip(self.data, min_value, max_value)
+
+        def backward(grad: np.ndarray) -> None:
+            mask = np.ones_like(self.data)
+            if min_value is not None:
+                mask = mask * (self.data >= min_value)
+            if max_value is not None:
+                mask = mask * (self.data <= max_value)
+            self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis=axis)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        out_data = np.transpose(self.data, axes=axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if axes is None:
+                self._accumulate(np.transpose(grad))
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(np.transpose(grad, axes=inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def gather(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows: ``out[i, ...] = self[indices[i], ...]``.
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + self.shape[1:]``.  The backward pass scatter-adds
+        gradients back into the source rows, which makes this the building
+        block for RouteNet's message passing.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, grad)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (no gradient)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+# ---------------------------------------------------------------------- #
+# Free functions
+# ---------------------------------------------------------------------- #
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """Create a tensor of zeros."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """Create a tensor of ones."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(shape, scale: float = 1.0, rng: Optional[np.random.Generator] = None,
+          requires_grad: bool = False) -> Tensor:
+    """Create a tensor of Gaussian noise with standard deviation ``scale``."""
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensor_list = [as_tensor(t) for t in tensors]
+    arrays = [t.data for t in tensor_list]
+    out_data = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensor_list, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensor_list), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensor_list = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensor_list], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensor_list), axis=axis)
+        for t, piece in zip(tensor_list, pieces):
+            t._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensor_list), backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Element-wise selection ``condition ? a : b`` (condition not differentiated)."""
+    condition = np.asarray(condition, dtype=bool)
+    a_t, b_t = as_tensor(a), as_tensor(b)
+    out_data = np.where(condition, a_t.data, b_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a_t._accumulate(_unbroadcast(grad * condition, a_t.shape))
+        b_t._accumulate(_unbroadcast(grad * (~condition), b_t.shape))
+
+    return Tensor._make(out_data, (a_t, b_t), backward)
+
+
+def segment_sum(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``data`` into ``num_segments`` buckets.
+
+    ``out[s] = sum_i data[i] for segment_ids[i] == s``.  This mirrors
+    ``tf.math.unsorted_segment_sum`` and is the aggregation primitive used by
+    the RouteNet message passing (links/nodes aggregate the states of the
+    paths that traverse them).
+    """
+    data_t = as_tensor(data)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or segment_ids.shape[0] != data_t.shape[0]:
+        raise ValueError("segment_ids must be 1-D with one id per row of data")
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    out_shape = (num_segments,) + data_t.shape[1:]
+    out_data = np.zeros(out_shape, dtype=data_t.dtype)
+    np.add.at(out_data, segment_ids, data_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        data_t._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (data_t,), backward)
+
+
+def segment_mean(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows of ``data`` per segment (empty segments yield zeros)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (as_tensor(data).ndim - 1))
+    return segment_sum(data, segment_ids, num_segments) / counts

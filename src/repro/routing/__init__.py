@@ -1,0 +1,27 @@
+"""Routing substrate: source-destination routing schemes over a topology.
+
+RouteNet consumes routing as the set of paths followed by every
+source-destination pair.  A :class:`~repro.routing.scheme.RoutingScheme`
+stores exactly that and knows how to express each path as the sequence of
+link indices (original RouteNet) or the interleaved node/link sequence
+(Extended RouteNet).
+"""
+
+from repro.routing.scheme import RoutingScheme
+from repro.routing.shortest_path import (
+    k_shortest_paths,
+    random_variation_routing,
+    shortest_path_routing,
+    weighted_shortest_path_routing,
+)
+from repro.routing.tables import next_hop_tables, routing_matrix
+
+__all__ = [
+    "RoutingScheme",
+    "shortest_path_routing",
+    "weighted_shortest_path_routing",
+    "random_variation_routing",
+    "k_shortest_paths",
+    "routing_matrix",
+    "next_hop_tables",
+]

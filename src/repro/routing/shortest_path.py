@@ -1,0 +1,75 @@
+"""Routing-scheme constructors: shortest path, weighted variants, k-SP mixtures."""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.routing.scheme import RoutingScheme
+from repro.topology.graph import Topology
+
+__all__ = [
+    "shortest_path_routing",
+    "weighted_shortest_path_routing",
+    "k_shortest_paths",
+    "random_variation_routing",
+]
+
+
+def shortest_path_routing(topology: Topology,
+                          pairs: Optional[List[Tuple[int, int]]] = None) -> RoutingScheme:
+    """Hop-count shortest-path routing for every (or the given) pairs.
+
+    Ties are broken deterministically by preferring lexicographically smaller
+    paths so that two calls with the same topology yield the same scheme.
+    """
+    return weighted_shortest_path_routing(topology, weight=None, pairs=pairs)
+
+
+def weighted_shortest_path_routing(topology: Topology, weight: Optional[str] = None,
+                                   pairs: Optional[List[Tuple[int, int]]] = None
+                                   ) -> RoutingScheme:
+    """Shortest-path routing under a link weight.
+
+    ``weight`` is ``None`` (hop count), ``"delay"`` or ``"inverse_capacity"``
+    as accepted by :meth:`repro.topology.graph.Topology.shortest_path`.
+    """
+    selected_pairs = list(pairs) if pairs is not None else list(topology.pairs())
+    paths: Dict[Tuple[int, int], List[int]] = {}
+    for source, destination in selected_pairs:
+        candidates = topology.all_shortest_paths(source, destination, weight=weight)
+        paths[(source, destination)] = min(candidates)
+    return RoutingScheme(topology, paths)
+
+
+def k_shortest_paths(topology: Topology, source: int, destination: int,
+                     k: int) -> List[List[int]]:
+    """The ``k`` shortest simple paths (by hop count) between two nodes."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    graph = topology.to_networkx()
+    generator = nx.shortest_simple_paths(graph, int(source), int(destination))
+    return [list(path) for path in islice(generator, k)]
+
+
+def random_variation_routing(topology: Topology, k: int = 3,
+                             rng: Optional[np.random.Generator] = None,
+                             pairs: Optional[List[Tuple[int, int]]] = None
+                             ) -> RoutingScheme:
+    """Routing that picks, per pair, one of its ``k`` shortest paths at random.
+
+    The paper's datasets include "diverse ... routing schemes"; this
+    constructor provides that diversity while keeping every path close to
+    shortest.  With ``rng`` fixed the scheme is reproducible.
+    """
+    generator = rng if rng is not None else np.random.default_rng()
+    selected_pairs = list(pairs) if pairs is not None else list(topology.pairs())
+    paths: Dict[Tuple[int, int], List[int]] = {}
+    for source, destination in selected_pairs:
+        candidates = k_shortest_paths(topology, source, destination, k)
+        choice = int(generator.integers(0, len(candidates)))
+        paths[(source, destination)] = candidates[choice]
+    return RoutingScheme(topology, paths)

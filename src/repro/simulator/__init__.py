@@ -1,0 +1,55 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage is the reproduction's substitute for the in-house OMNeT++
+simulator the authors used to generate ground-truth datasets.  It models:
+
+* forwarding devices with finite FIFO output queues (drop-tail), whose size
+  in packets is the node feature the Extended RouteNet learns from;
+* store-and-forward links with a configurable capacity and propagation delay;
+* Poisson (or deterministic / on-off) packet sources per source-destination
+  flow, with exponential or fixed packet sizes;
+* per-flow measurement of average delay, jitter and loss, plus per-link
+  utilisation and per-queue occupancy statistics.
+
+The high-level entry point is :func:`repro.simulator.network.simulate_network`,
+which wires a topology, a routing scheme and a traffic matrix into a
+simulation and returns a :class:`repro.simulator.metrics.SimulationResult`.
+"""
+
+from repro.simulator.engine import Simulator
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.packet import Packet
+from repro.simulator.queues import DropTailQueue, PriorityDropTailQueue
+from repro.simulator.link import Link
+from repro.simulator.node import RouterNode
+from repro.simulator.traffic_sources import (
+    ConstantBitRateSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+)
+from repro.simulator.flows import Flow
+from repro.simulator.metrics import FlowStats, LinkStats, SimulationResult
+from repro.simulator.network import NetworkSimulation, SimulationConfig, simulate_network
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Packet",
+    "DropTailQueue",
+    "PriorityDropTailQueue",
+    "Link",
+    "RouterNode",
+    "TrafficSource",
+    "PoissonSource",
+    "OnOffSource",
+    "ConstantBitRateSource",
+    "Flow",
+    "FlowStats",
+    "LinkStats",
+    "SimulationResult",
+    "NetworkSimulation",
+    "SimulationConfig",
+    "simulate_network",
+]

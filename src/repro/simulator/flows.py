@@ -1,0 +1,42 @@
+"""Flow definitions binding a source-destination pair to its offered traffic."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+__all__ = ["Flow"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """One end-to-end flow of the traffic matrix.
+
+    Attributes
+    ----------
+    source, destination:
+        Endpoints (node identifiers).
+    rate_bps:
+        Average offered traffic in bits per second.
+    source_model:
+        Name of the packet-arrival model: ``"poisson"``, ``"onoff"`` or
+        ``"cbr"``.
+    """
+
+    source: int
+    destination: int
+    rate_bps: float
+    source_model: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("flow endpoints must differ")
+        if self.rate_bps < 0:
+            raise ValueError("flow rate must be non-negative")
+        if self.source_model not in ("poisson", "onoff", "cbr"):
+            raise ValueError(f"unknown source model '{self.source_model}'")
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The ``(source, destination)`` tuple identifying the flow."""
+        return (self.source, self.destination)

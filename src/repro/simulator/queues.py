@@ -1,0 +1,168 @@
+"""Output-port queues: finite FIFO drop-tail buffers.
+
+The queue size (in packets) is the *node feature* the paper introduces into
+RouteNet: devices whose output buffers hold only one packet drop much more
+traffic and add less queueing delay than devices with standard buffers, and
+the extended model can only predict delays accurately if it sees this
+attribute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.simulator.packet import Packet
+
+__all__ = ["DropTailQueue", "PriorityDropTailQueue"]
+
+
+class DropTailQueue:
+    """A finite FIFO queue that discards arrivals when full (drop-tail).
+
+    ``capacity_packets`` counts only *waiting* packets; the packet currently
+    being transmitted on the outgoing link is not held in the queue, matching
+    the usual output-port model (one packet in the "server", up to K waiting).
+    """
+
+    def __init__(self, capacity_packets: int) -> None:
+        if capacity_packets < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity_packets = int(capacity_packets)
+        self._buffer: Deque[Packet] = deque()
+        # Statistics
+        self.arrivals = 0
+        self.drops = 0
+        self.max_occupancy = 0
+        self._occupancy_time_integral = 0.0
+        self._last_change_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._buffer
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._buffer) >= self.capacity_packets
+
+    # ------------------------------------------------------------------ #
+    def _track_occupancy(self, now: float) -> None:
+        self._occupancy_time_integral += len(self._buffer) * (now - self._last_change_time)
+        self._last_change_time = now
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Try to append ``packet``; return False (and count a drop) when full."""
+        self._track_occupancy(now)
+        self.arrivals += 1
+        if self.is_full:
+            self.drops += 1
+            packet.dropped = True
+            return False
+        self._buffer.append(packet)
+        self.max_occupancy = max(self.max_occupancy, len(self._buffer))
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Pop the head-of-line packet, or ``None`` when empty."""
+        self._track_occupancy(now)
+        if not self._buffer:
+            return None
+        return self._buffer.popleft()
+
+    def peek_all(self) -> List[Packet]:
+        """Snapshot of the waiting packets (head first), for inspection."""
+        return list(self._buffer)
+
+    def average_occupancy(self, now: float) -> float:
+        """Time-averaged number of waiting packets up to ``now``."""
+        if now <= 0:
+            return 0.0
+        integral = self._occupancy_time_integral
+        integral += len(self._buffer) * (now - self._last_change_time)
+        return integral / now
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of arrivals that were discarded."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+
+class PriorityDropTailQueue(DropTailQueue):
+    """A strict-priority queue sharing one drop-tail buffer across classes.
+
+    Packets carry a ``priority`` attribute (0 = highest).  Arrivals are
+    accepted while the *total* occupancy is below ``capacity_packets`` —
+    the buffer is shared — but departures always serve the highest-priority
+    non-empty class first.  This models the "different forwarding
+    behaviours" the paper lists as the next device feature to bring into
+    the GNN, and lets the simulator generate datasets where per-class
+    delays diverge under congestion.
+    """
+
+    def __init__(self, capacity_packets: int, num_classes: int = 2) -> None:
+        super().__init__(capacity_packets)
+        if num_classes < 1:
+            raise ValueError("need at least one traffic class")
+        self.num_classes = int(num_classes)
+        self._class_buffers: List[Deque[Packet]] = [deque() for _ in range(self.num_classes)]
+
+    def __len__(self) -> int:
+        return sum(len(buffer) for buffer in self._class_buffers)
+
+    @property
+    def is_empty(self) -> bool:
+        return all(not buffer for buffer in self._class_buffers)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity_packets
+
+    def _track_occupancy(self, now: float) -> None:
+        self._occupancy_time_integral += len(self) * (now - self._last_change_time)
+        self._last_change_time = now
+
+    def _class_of(self, packet: Packet) -> int:
+        return int(min(max(packet.priority, 0), self.num_classes - 1))
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._track_occupancy(now)
+        self.arrivals += 1
+        if self.is_full:
+            self.drops += 1
+            packet.dropped = True
+            return False
+        self._class_buffers[self._class_of(packet)].append(packet)
+        self.max_occupancy = max(self.max_occupancy, len(self))
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        self._track_occupancy(now)
+        for buffer in self._class_buffers:
+            if buffer:
+                return buffer.popleft()
+        return None
+
+    def peek_all(self) -> List[Packet]:
+        snapshot: List[Packet] = []
+        for buffer in self._class_buffers:
+            snapshot.extend(buffer)
+        return snapshot
+
+    def class_occupancy(self, traffic_class: int) -> int:
+        """Number of waiting packets of one traffic class."""
+        if not 0 <= traffic_class < self.num_classes:
+            raise ValueError("traffic class out of range")
+        return len(self._class_buffers[traffic_class])
+
+    def average_occupancy(self, now: float) -> float:
+        if now <= 0:
+            return 0.0
+        integral = self._occupancy_time_integral
+        integral += len(self) * (now - self._last_change_time)
+        return integral / now

@@ -1,0 +1,42 @@
+"""Network-topology substrate.
+
+A :class:`~repro.topology.graph.Topology` describes forwarding devices
+(nodes, each with a queue size in packets) connected by directed links (each
+with a capacity and a propagation delay).  The two topologies the paper
+evaluates on — NSFNET (14 nodes) and GEANT2 (24 nodes) — are provided as
+ready-made constructors, alongside synthetic generators used by the test
+suite and the ablation benchmarks.
+"""
+
+from repro.topology.graph import LinkSpec, NodeSpec, Topology
+from repro.topology.nsfnet import nsfnet_topology
+from repro.topology.geant2 import geant2_topology
+from repro.topology.generators import (
+    assign_queue_sizes,
+    grid_topology,
+    linear_topology,
+    random_topology,
+    ring_topology,
+    scale_free_topology,
+    star_topology,
+)
+from repro.topology.io import topology_from_dict, topology_to_dict, load_topology, save_topology
+
+__all__ = [
+    "Topology",
+    "NodeSpec",
+    "LinkSpec",
+    "nsfnet_topology",
+    "geant2_topology",
+    "linear_topology",
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "random_topology",
+    "scale_free_topology",
+    "assign_queue_sizes",
+    "topology_to_dict",
+    "topology_from_dict",
+    "save_topology",
+    "load_topology",
+]

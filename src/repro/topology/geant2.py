@@ -1,0 +1,86 @@
+"""The 24-node GEANT2 topology used as the training topology in the paper.
+
+The node set and cable list follow the GEANT2 reference topology commonly
+used by the RouteNet datasets (24 PoPs, 37 cables).  Every physical cable is
+modelled as a pair of directed links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.topology.graph import DEFAULT_QUEUE_SIZE, Topology
+from repro.topology.nsfnet import _resolve_queue_sizes
+
+__all__ = ["GEANT2_NODES", "GEANT2_EDGES", "geant2_topology"]
+
+#: Country labels of the 24 GEANT2 points of presence.
+GEANT2_NODES = [
+    "Austria",        # 0
+    "Belgium",        # 1
+    "Croatia",        # 2
+    "Czechia",        # 3
+    "Denmark",        # 4
+    "France",         # 5
+    "Germany",        # 6
+    "Greece",         # 7
+    "Hungary",        # 8
+    "Ireland",        # 9
+    "Israel",         # 10
+    "Italy",          # 11
+    "Luxembourg",     # 12
+    "Netherlands",    # 13
+    "Norway",         # 14
+    "Poland",         # 15
+    "Portugal",       # 16
+    "Slovakia",       # 17
+    "Slovenia",       # 18
+    "Spain",          # 19
+    "Sweden",         # 20
+    "Switzerland",    # 21
+    "United Kingdom", # 22
+    "Estonia",        # 23
+]
+
+#: Undirected cables of the GEANT2 reference topology (37 cables -> 74 directed links).
+GEANT2_EDGES = [
+    (0, 3), (0, 6), (0, 8), (0, 11), (0, 18), (0, 21),
+    (1, 5), (1, 6), (1, 13), (1, 12),
+    (2, 8), (2, 18),
+    (3, 6), (3, 15), (3, 17),
+    (4, 6), (4, 14), (4, 20),
+    (5, 6), (5, 19), (5, 21), (5, 22),
+    (6, 10), (6, 13), (6, 15),
+    (7, 11), (7, 10),
+    (8, 17),
+    (9, 22),
+    (11, 21), (11, 19),
+    (13, 22), (13, 14),
+    (14, 20),
+    (16, 19), (16, 22),
+    (20, 23),
+]
+
+
+def geant2_topology(
+    capacity: float = 10e6,
+    propagation_delay: float = 0.003,
+    queue_sizes: Optional[Sequence[int]] = None,
+    default_queue_size: int = DEFAULT_QUEUE_SIZE,
+    rng: Optional[np.random.Generator] = None,
+    small_queue_fraction: float = 0.0,
+    small_queue_size: int = 1,
+) -> Topology:
+    """Build the GEANT2 topology (see :func:`repro.topology.nsfnet.nsfnet_topology`
+    for the meaning of the parameters)."""
+    topology = Topology(name="geant2")
+    sizes = _resolve_queue_sizes(len(GEANT2_NODES), queue_sizes, default_queue_size,
+                                 rng, small_queue_fraction, small_queue_size)
+    for node_id, label in enumerate(GEANT2_NODES):
+        topology.add_node(node_id, queue_size=sizes[node_id], label=label)
+    for source, target in GEANT2_EDGES:
+        topology.add_link(source, target, capacity=capacity,
+                          propagation_delay=propagation_delay, bidirectional=True)
+    return topology

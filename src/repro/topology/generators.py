@@ -1,0 +1,138 @@
+"""Synthetic topology generators used by tests, examples and ablations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.graph import DEFAULT_QUEUE_SIZE, SMALL_QUEUE_SIZE, Topology
+
+__all__ = [
+    "linear_topology",
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "random_topology",
+    "scale_free_topology",
+    "assign_queue_sizes",
+]
+
+
+def _from_undirected_graph(graph: nx.Graph, name: str, capacity: float,
+                           propagation_delay: float, queue_size: int) -> Topology:
+    topology = Topology(name=name)
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes))}
+    for node in sorted(graph.nodes):
+        topology.add_node(mapping[node], queue_size=queue_size)
+    for u, v in sorted(graph.edges):
+        topology.add_link(mapping[u], mapping[v], capacity=capacity,
+                          propagation_delay=propagation_delay, bidirectional=True)
+    return topology
+
+
+def linear_topology(num_nodes: int, capacity: float = 10e6,
+                    propagation_delay: float = 0.001,
+                    queue_size: int = DEFAULT_QUEUE_SIZE) -> Topology:
+    """A chain ``0 - 1 - 2 - ... - (n-1)``; the smallest useful test topology."""
+    if num_nodes < 2:
+        raise ValueError("a linear topology needs at least 2 nodes")
+    return _from_undirected_graph(nx.path_graph(num_nodes), "linear", capacity,
+                                  propagation_delay, queue_size)
+
+
+def ring_topology(num_nodes: int, capacity: float = 10e6,
+                  propagation_delay: float = 0.001,
+                  queue_size: int = DEFAULT_QUEUE_SIZE) -> Topology:
+    """A cycle topology, giving every pair two disjoint paths."""
+    if num_nodes < 3:
+        raise ValueError("a ring topology needs at least 3 nodes")
+    return _from_undirected_graph(nx.cycle_graph(num_nodes), "ring", capacity,
+                                  propagation_delay, queue_size)
+
+
+def star_topology(num_leaves: int, capacity: float = 10e6,
+                  propagation_delay: float = 0.001,
+                  queue_size: int = DEFAULT_QUEUE_SIZE) -> Topology:
+    """A hub-and-spoke topology; node 0 is the hub."""
+    if num_leaves < 2:
+        raise ValueError("a star topology needs at least 2 leaves")
+    return _from_undirected_graph(nx.star_graph(num_leaves), "star", capacity,
+                                  propagation_delay, queue_size)
+
+
+def grid_topology(rows: int, cols: int, capacity: float = 10e6,
+                  propagation_delay: float = 0.001,
+                  queue_size: int = DEFAULT_QUEUE_SIZE) -> Topology:
+    """A rows x cols mesh."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid must contain at least 2 nodes")
+    graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(rows, cols))
+    return _from_undirected_graph(graph, "grid", capacity, propagation_delay, queue_size)
+
+
+def random_topology(num_nodes: int, average_degree: float = 3.0,
+                    capacity: float = 10e6, propagation_delay: float = 0.001,
+                    queue_size: int = DEFAULT_QUEUE_SIZE,
+                    rng: Optional[np.random.Generator] = None,
+                    max_attempts: int = 100) -> Topology:
+    """A connected Erdős–Rényi-style random topology.
+
+    The edge probability is chosen so the expected degree is
+    ``average_degree``; generation retries until the graph is connected.
+    """
+    if num_nodes < 3:
+        raise ValueError("random topologies need at least 3 nodes")
+    generator = rng if rng is not None else np.random.default_rng()
+    probability = min(1.0, average_degree / max(num_nodes - 1, 1))
+    for _ in range(max_attempts):
+        seed = int(generator.integers(0, 2 ** 31 - 1))
+        graph = nx.gnp_random_graph(num_nodes, probability, seed=seed)
+        if nx.is_connected(graph):
+            return _from_undirected_graph(graph, "random", capacity,
+                                          propagation_delay, queue_size)
+    raise RuntimeError("failed to generate a connected random topology; "
+                       "increase average_degree")
+
+
+def scale_free_topology(num_nodes: int, attachment: int = 2,
+                        capacity: float = 10e6, propagation_delay: float = 0.001,
+                        queue_size: int = DEFAULT_QUEUE_SIZE,
+                        rng: Optional[np.random.Generator] = None) -> Topology:
+    """A Barabási–Albert scale-free topology (ISP-like degree distribution)."""
+    if num_nodes <= attachment:
+        raise ValueError("num_nodes must exceed the attachment parameter")
+    generator = rng if rng is not None else np.random.default_rng()
+    seed = int(generator.integers(0, 2 ** 31 - 1))
+    graph = nx.barabasi_albert_graph(num_nodes, attachment, seed=seed)
+    return _from_undirected_graph(graph, "scale_free", capacity,
+                                  propagation_delay, queue_size)
+
+
+def assign_queue_sizes(topology: Topology, small_queue_fraction: float,
+                       rng: Optional[np.random.Generator] = None,
+                       default_queue_size: int = DEFAULT_QUEUE_SIZE,
+                       small_queue_size: int = SMALL_QUEUE_SIZE) -> Topology:
+    """Return a copy of ``topology`` with a random mix of queue sizes.
+
+    A fraction ``small_queue_fraction`` of the nodes gets
+    ``small_queue_size``-packet buffers; the rest get ``default_queue_size``.
+    This reproduces the mixed scenario of the paper's evaluation
+    ("queue sizes ... either of standard size or only with support for 1
+    packet").
+    """
+    if not 0.0 <= small_queue_fraction <= 1.0:
+        raise ValueError("small_queue_fraction must be in [0, 1]")
+    generator = rng if rng is not None else np.random.default_rng()
+    result = topology.copy()
+    nodes = result.nodes()
+    num_small = int(round(small_queue_fraction * len(nodes)))
+    small_nodes = set()
+    if num_small:
+        chosen = generator.choice(len(nodes), size=num_small, replace=False)
+        small_nodes = {nodes[int(i)] for i in chosen}
+    for node in nodes:
+        size = small_queue_size if node in small_nodes else default_queue_size
+        result.set_queue_size(node, size)
+    return result

@@ -1,0 +1,63 @@
+"""(De)serialising topologies to plain dictionaries and JSON files."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+from repro.topology.graph import Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+
+def topology_to_dict(topology: Topology) -> Dict:
+    """Convert a topology to a JSON-serialisable dictionary."""
+    return {
+        "name": topology.name,
+        "nodes": [
+            {
+                "id": node,
+                "queue_size": topology.node_spec(node).queue_size,
+                "label": topology.node_spec(node).label,
+                "scheduling": topology.node_spec(node).scheduling,
+            }
+            for node in topology.nodes()
+        ],
+        "links": [
+            {
+                "source": spec.source,
+                "target": spec.target,
+                "capacity": spec.capacity,
+                "propagation_delay": spec.propagation_delay,
+            }
+            for spec in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(payload: Dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    topology = Topology(name=payload.get("name", "topology"))
+    for node in payload["nodes"]:
+        topology.add_node(node["id"], queue_size=node["queue_size"],
+                          label=node.get("label"),
+                          scheduling=node.get("scheduling", "fifo"))
+    for link in payload["links"]:
+        topology.add_link(link["source"], link["target"], capacity=link["capacity"],
+                          propagation_delay=link["propagation_delay"])
+    return topology
+
+
+def save_topology(topology: Topology, path: str) -> str:
+    """Write a topology to a JSON file and return the path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(topology_to_dict(topology), handle, indent=2)
+    return path
+
+
+def load_topology(path: str) -> Topology:
+    """Load a topology written by :func:`save_topology`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return topology_from_dict(json.load(handle))

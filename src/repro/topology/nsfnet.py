@@ -1,0 +1,104 @@
+"""The 14-node NSFNET topology used for generalisation tests in the paper.
+
+Node indices follow the usual ordering of the 1991 NSFNET T1 backbone (see
+Hei et al., 2004, which the paper cites as [3]).  Every physical cable is
+modelled as a pair of directed links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.topology.graph import DEFAULT_QUEUE_SIZE, Topology
+
+__all__ = ["NSFNET_NODES", "NSFNET_EDGES", "nsfnet_topology"]
+
+#: City labels of the 14 NSFNET points of presence.
+NSFNET_NODES = [
+    "Seattle",        # 0
+    "Palo Alto",      # 1
+    "San Diego",      # 2
+    "Salt Lake City", # 3
+    "Boulder",        # 4
+    "Houston",        # 5
+    "Lincoln",        # 6
+    "Champaign",      # 7
+    "Atlanta",        # 8
+    "Ann Arbor",      # 9
+    "Pittsburgh",     # 10
+    "Ithaca",         # 11
+    "College Park",   # 12
+    "Princeton",      # 13
+]
+
+#: Undirected cables of the NSFNET T1 backbone (21 cables -> 42 directed links).
+NSFNET_EDGES = [
+    (0, 1), (0, 2), (0, 3),
+    (1, 2), (1, 7),
+    (2, 5),
+    (3, 4), (3, 10),
+    (4, 5), (4, 6),
+    (5, 8),
+    (6, 7), (6, 9),
+    (7, 12),
+    (8, 9), (8, 12),
+    (9, 11), (9, 13),
+    (10, 11), (10, 12),
+    (11, 13),
+]
+
+
+def nsfnet_topology(
+    capacity: float = 10e6,
+    propagation_delay: float = 0.002,
+    queue_sizes: Optional[Sequence[int]] = None,
+    default_queue_size: int = DEFAULT_QUEUE_SIZE,
+    rng: Optional[np.random.Generator] = None,
+    small_queue_fraction: float = 0.0,
+    small_queue_size: int = 1,
+) -> Topology:
+    """Build the NSFNET topology.
+
+    Parameters
+    ----------
+    capacity:
+        Capacity of every link in bits per second.
+    propagation_delay:
+        Propagation delay of every link in seconds.
+    queue_sizes:
+        Optional explicit queue size per node (length 14).  Overrides the
+        random assignment below.
+    default_queue_size:
+        Queue size of "standard" devices.
+    rng, small_queue_fraction, small_queue_size:
+        When ``queue_sizes`` is not given, a fraction of nodes (chosen with
+        ``rng``) is assigned ``small_queue_size`` packets — the mixed
+        scenario of the paper's evaluation.
+    """
+    topology = Topology(name="nsfnet")
+    sizes = _resolve_queue_sizes(len(NSFNET_NODES), queue_sizes, default_queue_size,
+                                 rng, small_queue_fraction, small_queue_size)
+    for node_id, label in enumerate(NSFNET_NODES):
+        topology.add_node(node_id, queue_size=sizes[node_id], label=label)
+    for source, target in NSFNET_EDGES:
+        topology.add_link(source, target, capacity=capacity,
+                          propagation_delay=propagation_delay, bidirectional=True)
+    return topology
+
+
+def _resolve_queue_sizes(num_nodes, queue_sizes, default_queue_size, rng,
+                         small_queue_fraction, small_queue_size):
+    if queue_sizes is not None:
+        sizes = [int(q) for q in queue_sizes]
+        if len(sizes) != num_nodes:
+            raise ValueError(f"expected {num_nodes} queue sizes, got {len(sizes)}")
+        return sizes
+    sizes = [default_queue_size] * num_nodes
+    if small_queue_fraction > 0:
+        generator = rng if rng is not None else np.random.default_rng()
+        num_small = int(round(small_queue_fraction * num_nodes))
+        for node in generator.choice(num_nodes, size=num_small, replace=False):
+            sizes[int(node)] = small_queue_size
+    return sizes

@@ -1,0 +1,19 @@
+"""Traffic substrate: end-to-end traffic matrices and their generators."""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.generators import (
+    bimodal_traffic,
+    gravity_traffic,
+    hotspot_traffic,
+    scaled_to_utilization,
+    uniform_traffic,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "uniform_traffic",
+    "gravity_traffic",
+    "bimodal_traffic",
+    "hotspot_traffic",
+    "scaled_to_utilization",
+]

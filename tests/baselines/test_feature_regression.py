@@ -1,0 +1,90 @@
+"""Tests for the hand-crafted-feature ridge-regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PathFeatureExtractor, RidgeRegressionBaseline
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.topology import nsfnet_topology, ring_topology
+
+
+def _dataset(num_samples=8, seed=0, num_nodes=6):
+    config = DatasetConfig(num_samples=num_samples, seed=seed, small_queue_fraction=0.5,
+                           utilization_range=(0.4, 0.85))
+    return generate_dataset(ring_topology(num_nodes), config)
+
+
+class TestPathFeatureExtractor:
+    def test_shape_and_names(self):
+        samples = _dataset(1)
+        features = PathFeatureExtractor().extract(samples[0])
+        assert features.shape == (samples[0].num_paths, len(PathFeatureExtractor.FEATURE_NAMES))
+        assert np.all(np.isfinite(features))
+
+    def test_path_length_feature(self):
+        samples = _dataset(1)
+        sample = samples[0]
+        features = PathFeatureExtractor().extract(sample)
+        lengths = np.array([len(sample.routing.link_path(*pair)) for pair in sample.pair_order])
+        np.testing.assert_allclose(features[:, 0], lengths)
+
+    def test_queue_size_features_reflect_topology(self):
+        samples = _dataset(1, seed=3)
+        sample = samples[0]
+        features = PathFeatureExtractor().extract(sample)
+        min_queue_column = list(PathFeatureExtractor.FEATURE_NAMES).index("min_queue_size")
+        queue_sizes = sample.topology.queue_sizes()
+        for row, pair in enumerate(sample.pair_order):
+            nodes = sample.routing.path(*pair)[:-1]
+            assert features[row, min_queue_column] == min(queue_sizes[n] for n in nodes)
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            PathFeatureExtractor(mean_packet_size_bits=0)
+
+
+class TestRidgeRegressionBaseline:
+    def test_fit_predict_shapes(self):
+        samples = _dataset(6)
+        model = RidgeRegressionBaseline().fit(samples[:5])
+        predicted = model.predict(samples[5])
+        assert predicted.shape == samples[5].delays.shape
+
+    def test_reasonable_accuracy_in_distribution(self):
+        samples = _dataset(10, seed=5)
+        model = RidgeRegressionBaseline().fit(samples[:8])
+        metrics = model.evaluate(samples[8:])
+        # The analytic ground truth is fairly smooth in these features, so the
+        # regression should land well under 50% mean relative error.
+        assert metrics["mean_relative_error"] < 0.5
+        assert metrics["num_paths"] == sum(s.num_paths for s in samples[8:])
+
+    def test_generalizes_to_other_topology_poorly_or_well_but_runs(self):
+        samples = _dataset(6, seed=7)
+        model = RidgeRegressionBaseline().fit(samples)
+        nsfnet_samples = generate_dataset(nsfnet_topology(),
+                                          DatasetConfig(num_samples=1, seed=7))
+        predicted = model.predict(nsfnet_samples[0])
+        assert predicted.shape == nsfnet_samples[0].delays.shape
+        assert np.all(np.isfinite(predicted))
+
+    def test_unfitted_predict_raises(self):
+        samples = _dataset(1)
+        with pytest.raises(RuntimeError):
+            RidgeRegressionBaseline().predict(samples[0])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            RidgeRegressionBaseline().fit([])
+        with pytest.raises(ValueError):
+            RidgeRegressionBaseline().fit(_dataset(1)).evaluate([])
+
+    def test_invalid_regularization(self):
+        with pytest.raises(ValueError):
+            RidgeRegressionBaseline(regularization=-1.0)
+
+    def test_regularization_shrinks_weights(self):
+        samples = _dataset(6, seed=9)
+        light = RidgeRegressionBaseline(regularization=1e-6).fit(samples)
+        heavy = RidgeRegressionBaseline(regularization=1e3).fit(samples)
+        assert np.linalg.norm(heavy._weights[:-1]) < np.linalg.norm(light._weights[:-1])

@@ -1,0 +1,188 @@
+"""Tests for the queueing-theory baselines (M/M/1 and M/M/1/K network models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    MM1KModel,
+    MM1Model,
+    mm1_waiting_time,
+    mm1k_blocking_probability,
+    mm1k_mean_queue_length,
+)
+from repro.routing import shortest_path_routing
+from repro.topology import Topology, linear_topology, nsfnet_topology
+from repro.traffic import TrafficMatrix, uniform_traffic
+
+
+class TestSingleQueueFormulas:
+    def test_mm1_known_value(self):
+        # mu=10, lambda=5 -> sojourn = 1/(10-5) = 0.2
+        assert mm1_waiting_time(5.0, 10.0) == pytest.approx(0.2)
+
+    def test_mm1_overload_is_infinite(self):
+        assert mm1_waiting_time(10.0, 10.0) == float("inf")
+        assert mm1_waiting_time(12.0, 10.0) == float("inf")
+
+    def test_mm1_validation(self):
+        with pytest.raises(ValueError):
+            mm1_waiting_time(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1_waiting_time(1.0, 0.0)
+
+    def test_blocking_probability_bounds(self):
+        p = mm1k_blocking_probability(5.0, 10.0, capacity=3)
+        assert 0.0 < p < 1.0
+
+    def test_blocking_probability_zero_arrivals(self):
+        assert mm1k_blocking_probability(0.0, 10.0, 5) == 0.0
+
+    def test_blocking_probability_rho_one(self):
+        # At rho = 1 the M/M/1/K blocking probability is 1/(K+1).
+        assert mm1k_blocking_probability(10.0, 10.0, 4) == pytest.approx(1 / 5)
+
+    def test_blocking_increases_with_load(self):
+        low = mm1k_blocking_probability(2.0, 10.0, 3)
+        high = mm1k_blocking_probability(8.0, 10.0, 3)
+        assert high > low
+
+    def test_blocking_decreases_with_capacity(self):
+        small = mm1k_blocking_probability(8.0, 10.0, 2)
+        large = mm1k_blocking_probability(8.0, 10.0, 20)
+        assert large < small
+
+    def test_mean_queue_length_limits(self):
+        assert mm1k_mean_queue_length(0.0, 10.0, 5) == 0.0
+        assert mm1k_mean_queue_length(10.0, 10.0, 4) == pytest.approx(2.0)
+
+    def test_mm1k_approaches_mm1_for_large_buffers(self):
+        lam, mu = 6.0, 10.0
+        mm1_length = lam / (mu - lam)
+        mm1k_length = mm1k_mean_queue_length(lam, mu, capacity=200)
+        assert mm1k_length == pytest.approx(mm1_length, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1k_blocking_probability(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            mm1k_mean_queue_length(1.0, 0.0, 2)
+
+    @given(st.floats(0.05, 0.95), st.integers(1, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_blocking_probability_is_probability(self, rho, capacity):
+        p = mm1k_blocking_probability(rho * 10.0, 10.0, capacity)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(0.05, 0.95), st.integers(1, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_length_bounded_by_capacity(self, rho, capacity):
+        length = mm1k_mean_queue_length(rho * 10.0, 10.0, capacity)
+        assert 0.0 <= length <= capacity
+
+
+def _two_node_scenario(capacity=1e6, queue_size=32, demand=0.5e6):
+    topology = Topology("pair")
+    topology.add_node(0, queue_size=queue_size)
+    topology.add_node(1, queue_size=queue_size)
+    topology.add_link(0, 1, capacity=capacity, propagation_delay=0.0, bidirectional=True)
+    routing = shortest_path_routing(topology)
+    traffic = TrafficMatrix.zeros(2)
+    traffic.set_demand(0, 1, demand)
+    return topology, routing, traffic
+
+
+class TestNetworkModels:
+    def test_mm1_single_link_matches_formula(self):
+        topology, routing, traffic = _two_node_scenario()
+        model = MM1Model(mean_packet_size_bits=8000.0)
+        prediction = model.predict(topology, routing, traffic)
+        mu = 1e6 / 8000.0
+        lam = 0.5e6 / 8000.0
+        assert prediction.delay(0, 1) == pytest.approx(1.0 / (mu - lam))
+        # The reverse direction carries no traffic: pure service time.
+        assert prediction.delay(1, 0) == pytest.approx(1.0 / mu)
+
+    def test_mm1k_adds_loss_for_tiny_queue(self):
+        topology, routing, traffic = _two_node_scenario(queue_size=1, demand=0.9e6)
+        prediction = MM1KModel().predict(topology, routing, traffic)
+        assert prediction.loss(0, 1) > 0.05
+        # The MM1 model reports no loss at all.
+        mm1_prediction = MM1Model().predict(topology, routing, traffic)
+        assert mm1_prediction.loss(0, 1) == 0.0
+
+    def test_mm1k_delay_smaller_with_tiny_queue(self):
+        """Finite buffers bound queueing delay: K=1 must beat K=64 on delay."""
+        _, routing, traffic = _two_node_scenario(demand=0.9e6)
+        topology_small, _, _ = _two_node_scenario(queue_size=1, demand=0.9e6)
+        topology_big, _, _ = _two_node_scenario(queue_size=64, demand=0.9e6)
+        model = MM1KModel()
+        small = model.predict(topology_small, routing, traffic).delay(0, 1)
+        big = model.predict(topology_big, routing, traffic).delay(0, 1)
+        assert small < big
+
+    def test_mm1_ignores_queue_sizes(self):
+        _, routing, traffic = _two_node_scenario(demand=0.7e6)
+        topology_small, _, _ = _two_node_scenario(queue_size=1, demand=0.7e6)
+        topology_big, _, _ = _two_node_scenario(queue_size=64, demand=0.7e6)
+        model = MM1Model()
+        assert (model.predict(topology_small, routing, traffic).delay(0, 1)
+                == pytest.approx(model.predict(topology_big, routing, traffic).delay(0, 1)))
+
+    def test_path_delay_sums_links(self):
+        topology = linear_topology(3, capacity=1e6, propagation_delay=0.001)
+        routing = shortest_path_routing(topology)
+        traffic = TrafficMatrix.zeros(3)
+        traffic.set_demand(0, 2, 0.3e6)
+        prediction = MM1Model().predict(topology, routing, traffic)
+        single_hop = prediction.delay(1, 2)
+        two_hop = prediction.delay(0, 2)
+        # Two identical hops plus two propagation delays.
+        assert two_hop == pytest.approx(2 * single_hop, rel=1e-9)
+
+    def test_utilizations_reported(self):
+        topology, routing, traffic = _two_node_scenario(demand=0.4e6)
+        prediction = MM1KModel().predict(topology, routing, traffic)
+        link_index = topology.link_index(0, 1)
+        assert prediction.link_utilizations[link_index] == pytest.approx(0.4, rel=1e-6)
+
+    def test_thinning_reduces_downstream_load(self):
+        """With a lossy first hop, the second hop must see less traffic."""
+        topology = linear_topology(3, capacity=1e6)
+        topology.set_queue_size(0, 1)      # first hop: tiny buffer, heavy loss
+        topology.set_queue_size(1, 64)
+        routing = shortest_path_routing(topology)
+        traffic = TrafficMatrix.zeros(3)
+        traffic.set_demand(0, 2, 0.95e6)
+        prediction = MM1KModel(fixed_point_iterations=10).predict(topology, routing, traffic)
+        first_link = topology.link_index(0, 1)
+        second_link = topology.link_index(1, 2)
+        assert (prediction.link_utilizations[second_link]
+                < prediction.link_utilizations[first_link])
+
+    def test_predict_delays_shape_and_order(self):
+        topology = nsfnet_topology(capacity=10e6)
+        routing = shortest_path_routing(topology)
+        traffic = uniform_traffic(14, 1e4, 1e5, rng=np.random.default_rng(0))
+        delays = MM1KModel().predict_delays(topology, routing, traffic)
+        assert delays.shape == (routing.num_paths,)
+        assert np.all(delays > 0)
+        assert np.all(np.isfinite(delays))
+
+    def test_mismatched_traffic_raises(self):
+        topology, routing, _ = _two_node_scenario()
+        with pytest.raises(ValueError):
+            MM1Model().predict(topology, routing, TrafficMatrix.zeros(5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MM1Model(mean_packet_size_bits=0)
+        with pytest.raises(ValueError):
+            MM1KModel(fixed_point_iterations=0)
+
+    def test_mm1k_close_to_mm1_with_huge_buffers_light_load(self):
+        topology, routing, traffic = _two_node_scenario(queue_size=5000, demand=0.3e6)
+        mm1 = MM1Model().predict(topology, routing, traffic).delay(0, 1)
+        mm1k = MM1KModel().predict(topology, routing, traffic).delay(0, 1)
+        assert mm1k == pytest.approx(mm1, rel=1e-3)

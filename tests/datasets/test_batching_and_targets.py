@@ -1,0 +1,195 @@
+"""Tests for mini-batch merging and for jitter/loss prediction targets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    FeatureNormalizer,
+    generate_dataset,
+    tensorize_sample,
+)
+from repro.datasets.batching import make_batches, merge_tensorized_samples
+from repro.models import (
+    ExtendedRouteNet,
+    RouteNet,
+    RouteNetConfig,
+    RouteNetTrainer,
+    TrainerConfig,
+    evaluate_model,
+)
+from repro.topology import linear_topology, ring_topology
+
+SMALL_CONFIG = RouteNetConfig(link_state_dim=6, path_state_dim=6, node_state_dim=6,
+                              message_passing_iterations=2, readout_hidden_sizes=(8,),
+                              seed=0)
+
+
+def _tensorized_list(num_samples=3, num_nodes=5, seed=0, target="delay"):
+    samples = generate_dataset(ring_topology(num_nodes),
+                               DatasetConfig(num_samples=num_samples, seed=seed))
+    normalizer = FeatureNormalizer().fit(samples)
+    return samples, [tensorize_sample(s, normalizer, target=target) for s in samples]
+
+
+class TestMergeTensorizedSamples:
+    def test_merged_counts(self):
+        _, tensorized = _tensorized_list(3)
+        merged = merge_tensorized_samples(tensorized)
+        assert merged.num_paths == sum(t.num_paths for t in tensorized)
+        assert merged.num_links == sum(t.num_links for t in tensorized)
+        assert merged.num_nodes == sum(t.num_nodes for t in tensorized)
+        merged.validate()
+
+    def test_indices_are_disjoint(self):
+        _, tensorized = _tensorized_list(2)
+        merged = merge_tensorized_samples(tensorized)
+        first = tensorized[0]
+        # Rows belonging to the second sample must reference links/nodes
+        # beyond the first sample's ranges wherever the mask is set.
+        second_rows = merged.link_sequences[first.num_paths:]
+        second_mask = merged.sequence_mask[first.num_paths:] > 0
+        assert second_rows[second_mask].min() >= first.num_links
+        second_nodes = merged.node_sequences[first.num_paths:]
+        assert second_nodes[second_mask].min() >= first.num_nodes
+
+    def test_targets_concatenated_in_order(self):
+        _, tensorized = _tensorized_list(2)
+        merged = merge_tensorized_samples(tensorized)
+        np.testing.assert_allclose(
+            merged.targets, np.concatenate([t.targets for t in tensorized]))
+
+    def test_single_sample_passthrough(self):
+        _, tensorized = _tensorized_list(1)
+        assert merge_tensorized_samples(tensorized) is tensorized[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tensorized_samples([])
+
+    def test_mixed_targets_rejected(self):
+        samples, _ = _tensorized_list(2)
+        normalizer = FeatureNormalizer().fit(samples)
+        a = tensorize_sample(samples[0], normalizer, target="delay")
+        b = tensorize_sample(samples[1], normalizer, target="jitter")
+        with pytest.raises(ValueError):
+            merge_tensorized_samples([a, b])
+
+    def test_model_forward_equivalence(self):
+        """Predictions on a merged batch equal per-sample predictions."""
+        _, tensorized = _tensorized_list(2, seed=3)
+        model = ExtendedRouteNet(SMALL_CONFIG)
+        merged = merge_tensorized_samples(tensorized)
+        batched = model.predict(merged)
+        separate = np.concatenate([model.predict(t) for t in tensorized])
+        np.testing.assert_allclose(batched, separate, atol=1e-9)
+
+    def test_model_forward_equivalence_original(self):
+        _, tensorized = _tensorized_list(2, seed=4)
+        model = RouteNet(SMALL_CONFIG)
+        merged = merge_tensorized_samples(tensorized)
+        np.testing.assert_allclose(
+            model.predict(merged),
+            np.concatenate([model.predict(t) for t in tensorized]),
+            atol=1e-9)
+
+    def test_different_topologies_merge(self):
+        samples_a = generate_dataset(ring_topology(4), DatasetConfig(num_samples=1, seed=0))
+        samples_b = generate_dataset(linear_topology(6), DatasetConfig(num_samples=1, seed=0))
+        normalizer = FeatureNormalizer().fit(samples_a + samples_b)
+        merged = merge_tensorized_samples([
+            tensorize_sample(samples_a[0], normalizer),
+            tensorize_sample(samples_b[0], normalizer),
+        ])
+        merged.validate()
+        assert merged.num_nodes == 10
+
+
+class TestMakeBatches:
+    def test_batch_sizes(self):
+        _, tensorized = _tensorized_list(5)
+        batches = make_batches(tensorized, batch_size=2)
+        assert len(batches) == 3
+        assert batches[0].num_paths == 2 * tensorized[0].num_paths
+        assert batches[-1].num_paths == tensorized[0].num_paths
+
+    def test_shuffling_reproducible(self):
+        _, tensorized = _tensorized_list(4)
+        b1 = make_batches(tensorized, 2, rng=np.random.default_rng(1))
+        b2 = make_batches(tensorized, 2, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(b1[0].targets, b2[0].targets)
+
+    def test_validation(self):
+        _, tensorized = _tensorized_list(2)
+        with pytest.raises(ValueError):
+            make_batches(tensorized, 0)
+        with pytest.raises(ValueError):
+            make_batches([], 2)
+
+
+class TestAlternativeTargets:
+    def test_tensorize_jitter_and_loss(self):
+        samples, _ = _tensorized_list(1)
+        normalizer = FeatureNormalizer().fit(samples)
+        jitter = tensorize_sample(samples[0], normalizer, target="jitter")
+        loss = tensorize_sample(samples[0], normalizer, target="loss")
+        assert jitter.target_name == "jitter"
+        np.testing.assert_allclose(jitter.raw_targets, samples[0].jitters)
+        np.testing.assert_allclose(loss.raw_targets, samples[0].losses)
+
+    def test_unknown_target_rejected(self):
+        samples, _ = _tensorized_list(1)
+        with pytest.raises(ValueError):
+            tensorize_sample(samples[0], target="throughput")
+
+    def test_missing_metric_rejected(self):
+        samples, _ = _tensorized_list(1)
+        samples[0].jitters = None
+        with pytest.raises(ValueError):
+            tensorize_sample(samples[0], target="jitter")
+
+    def test_normalizer_covers_jitter_and_loss(self):
+        samples, _ = _tensorized_list(3)
+        normalizer = FeatureNormalizer().fit(samples)
+        assert "jitter" in normalizer.means and "loss" in normalizer.means
+        jitters = np.concatenate([s.jitters for s in samples])
+        normalised = normalizer.normalize("jitter", jitters)
+        assert abs(normalised.mean()) < 1e-9
+
+    def test_normalizer_defaults_without_metrics(self):
+        samples, _ = _tensorized_list(2)
+        for sample in samples:
+            sample.jitters = None
+            sample.losses = None
+        normalizer = FeatureNormalizer().fit(samples)
+        assert normalizer.means["jitter"] == 0.0 and normalizer.stds["jitter"] == 1.0
+
+    def test_trainer_jitter_target(self):
+        samples, _ = _tensorized_list(6, seed=5)
+        model = ExtendedRouteNet(SMALL_CONFIG)
+        trainer = RouteNetTrainer(model, TrainerConfig(epochs=4, learning_rate=0.01,
+                                                       target="jitter", seed=5))
+        history = trainer.fit(samples[:5])
+        assert history.train_loss[-1] < history.train_loss[0]
+        predicted = trainer.predict_metric(samples[5])
+        assert predicted.shape == samples[5].jitters.shape
+
+    def test_predict_delays_guard(self):
+        samples, _ = _tensorized_list(2, seed=6)
+        model = RouteNet(SMALL_CONFIG)
+        trainer = RouteNetTrainer(model, TrainerConfig(epochs=1, target="jitter"))
+        trainer.fit(samples)
+        with pytest.raises(RuntimeError):
+            trainer.predict_delays(samples[0])
+
+    def test_trainer_target_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(target="throughput")
+
+    def test_evaluate_model_on_jitter(self):
+        samples, _ = _tensorized_list(4, seed=7)
+        model = ExtendedRouteNet(SMALL_CONFIG)
+        trainer = RouteNetTrainer(model, TrainerConfig(epochs=2, target="jitter"))
+        trainer.fit(samples[:3])
+        metrics = evaluate_model(model, samples[3:], trainer.normalizer, target="jitter")
+        assert metrics["num_paths"] == samples[3].num_paths

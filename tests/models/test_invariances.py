@@ -1,0 +1,118 @@
+"""Structural invariance tests for the RouteNet family.
+
+A GNN's defining property is that its output depends on the *graph
+structure*, not on arbitrary identifiers.  These tests relabel the nodes of
+a scenario with a random permutation and check that both models produce the
+same per-pair predictions — the property that underlies the paper's claim of
+generalisation to unseen topologies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import AnalyticGroundTruth, FeatureNormalizer, tensorize_sample
+from repro.models import ExtendedRouteNet, RouteNet, RouteNetConfig
+from repro.routing import RoutingScheme, shortest_path_routing
+from repro.topology import Topology, ring_topology
+from repro.traffic import TrafficMatrix, uniform_traffic
+
+CONFIG = RouteNetConfig(link_state_dim=8, path_state_dim=8, node_state_dim=8,
+                        message_passing_iterations=3, seed=2)
+
+
+def _base_scenario(seed=0):
+    topology = ring_topology(6)
+    rng = np.random.default_rng(seed)
+    for node in topology.nodes():
+        topology.set_queue_size(node, int(rng.choice([1, 32])))
+    routing = shortest_path_routing(topology)
+    traffic = uniform_traffic(6, 1e5, 3e5, rng=rng)
+    sample = AnalyticGroundTruth(noise_std=0.0).generate(topology, routing, traffic)
+    return sample
+
+
+def _permute_scenario(sample, permutation):
+    """Relabel every node of a scenario through ``permutation``."""
+    old_topology = sample.topology
+    mapping = {old: int(new) for old, new in zip(old_topology.nodes(), permutation)}
+
+    new_topology = Topology(name=old_topology.name + "-permuted")
+    for old_node in old_topology.nodes():
+        spec = old_topology.node_spec(old_node)
+        new_topology.add_node(mapping[old_node], queue_size=spec.queue_size,
+                              scheduling=spec.scheduling)
+    # Keep the link insertion order so link indices correspond one-to-one.
+    for spec in old_topology.links():
+        new_topology.add_link(mapping[spec.source], mapping[spec.target],
+                              capacity=spec.capacity,
+                              propagation_delay=spec.propagation_delay)
+
+    new_paths = {}
+    for (source, destination), path in sample.routing.items():
+        new_paths[(mapping[source], mapping[destination])] = [mapping[n] for n in path]
+    new_routing = RoutingScheme(new_topology, new_paths)
+
+    demands = np.zeros((old_topology.num_nodes, old_topology.num_nodes))
+    for source, destination, value in sample.traffic.pairs():
+        demands[mapping[source], mapping[destination]] = value
+    new_traffic = TrafficMatrix(demands)
+
+    new_sample = AnalyticGroundTruth(noise_std=0.0).generate(
+        new_topology, new_routing, new_traffic)
+    return new_sample, mapping
+
+
+@pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
+def test_predictions_invariant_to_node_relabelling(model_cls):
+    sample = _base_scenario(seed=1)
+    permutation = np.random.default_rng(9).permutation(sample.topology.num_nodes)
+    permuted_sample, mapping = _permute_scenario(sample, permutation)
+
+    # One shared normaliser so both scenarios are scaled identically.
+    normalizer = FeatureNormalizer().fit([sample])
+    model = model_cls(CONFIG)
+    original = model.predict(tensorize_sample(sample, normalizer))
+    permuted = model.predict(tensorize_sample(permuted_sample, normalizer))
+
+    original_pairs = sample.pair_order
+    permuted_pairs = permuted_sample.pair_order
+    for row, (source, destination) in enumerate(original_pairs):
+        mapped_pair = (mapping[source], mapping[destination])
+        permuted_row = permuted_pairs.index(mapped_pair)
+        assert permuted[permuted_row] == pytest.approx(original[row], abs=1e-9)
+
+
+def test_ground_truth_also_invariant_to_relabelling():
+    """Sanity check of the harness itself: the analytic generator commutes
+    with node relabelling, so the targets (not only the predictions) match."""
+    sample = _base_scenario(seed=4)
+    permutation = np.random.default_rng(10).permutation(sample.topology.num_nodes)
+    permuted_sample, mapping = _permute_scenario(sample, permutation)
+    for row, (source, destination) in enumerate(sample.pair_order):
+        mapped_pair = (mapping[source], mapping[destination])
+        permuted_row = permuted_sample.pair_order.index(mapped_pair)
+        assert permuted_sample.delays[permuted_row] == pytest.approx(
+            sample.delays[row], rel=1e-9)
+
+
+@pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
+def test_predictions_independent_of_unused_links(model_cls):
+    """Links that no path traverses must not influence the predictions."""
+    topology = ring_topology(5)
+    routing = shortest_path_routing(topology)
+    traffic = uniform_traffic(5, 1e5, 2e5, rng=np.random.default_rng(3))
+    sample = AnalyticGroundTruth(noise_std=0.0).generate(topology, routing, traffic)
+
+    # Same scenario, but with an extra chord link that no routed path uses.
+    extended_topology = topology.copy()
+    extended_topology.add_link(0, 2, capacity=5e6)
+    extended_routing = RoutingScheme(extended_topology,
+                                     {pair: path for pair, path in sample.routing.items()})
+    extended_sample = AnalyticGroundTruth(noise_std=0.0).generate(
+        extended_topology, extended_routing, sample.traffic)
+
+    normalizer = FeatureNormalizer().fit([sample])
+    model = model_cls(CONFIG)
+    base = model.predict(tensorize_sample(sample, normalizer))
+    with_chord = model.predict(tensorize_sample(extended_sample, normalizer))
+    np.testing.assert_allclose(with_chord, base, atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the strict-priority scheduling extension of the simulator.
+
+The paper names "different forwarding behaviors" (scheduling) alongside
+queue sizes as the device features future GNN models should capture; the
+substrate therefore supports per-node scheduling disciplines and per-flow
+traffic classes.  These tests check the queue mechanics and the end-to-end
+effect: under congestion, high-priority flows keep low delays while
+low-priority flows absorb the queueing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import shortest_path_routing
+from repro.simulator import (
+    Packet,
+    PriorityDropTailQueue,
+    SimulationConfig,
+    simulate_network,
+)
+from repro.topology import Topology
+from repro.topology.graph import NodeSpec
+from repro.topology.io import topology_from_dict, topology_to_dict
+from repro.traffic import TrafficMatrix
+
+
+def _packet(packet_id, priority):
+    return Packet(packet_id, (0, 1), 8000.0, 0.0, priority=priority)
+
+
+class TestPriorityDropTailQueue:
+    def test_high_priority_served_first(self):
+        queue = PriorityDropTailQueue(10, num_classes=2)
+        queue.enqueue(_packet(0, priority=1), 0.0)
+        queue.enqueue(_packet(1, priority=0), 0.0)
+        queue.enqueue(_packet(2, priority=1), 0.0)
+        assert queue.dequeue(0.1).packet_id == 1
+        assert queue.dequeue(0.2).packet_id == 0
+        assert queue.dequeue(0.3).packet_id == 2
+
+    def test_fifo_within_class(self):
+        queue = PriorityDropTailQueue(10, num_classes=2)
+        for i in range(3):
+            queue.enqueue(_packet(i, priority=0), 0.0)
+        assert [queue.dequeue(0.0).packet_id for _ in range(3)] == [0, 1, 2]
+
+    def test_shared_buffer_drop_tail(self):
+        queue = PriorityDropTailQueue(2, num_classes=2)
+        assert queue.enqueue(_packet(0, 1), 0.0)
+        assert queue.enqueue(_packet(1, 1), 0.0)
+        # Buffer full: even a high-priority arrival is dropped (shared buffer).
+        assert not queue.enqueue(_packet(2, 0), 0.0)
+        assert queue.drops == 1
+
+    def test_priority_clamped_to_classes(self):
+        queue = PriorityDropTailQueue(5, num_classes=2)
+        queue.enqueue(_packet(0, priority=7), 0.0)
+        assert queue.class_occupancy(1) == 1
+
+    def test_class_occupancy_bounds(self):
+        queue = PriorityDropTailQueue(5, num_classes=2)
+        with pytest.raises(ValueError):
+            queue.class_occupancy(5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PriorityDropTailQueue(5, num_classes=0)
+
+    def test_empty_dequeue(self):
+        assert PriorityDropTailQueue(3).dequeue(0.0) is None
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_capacity_property(self, priorities):
+        queue = PriorityDropTailQueue(4, num_classes=2)
+        for index, priority in enumerate(priorities):
+            queue.enqueue(_packet(index, priority), float(index))
+            assert len(queue) <= 4
+
+
+class TestNodeSchedulingSpec:
+    def test_default_is_fifo(self):
+        assert NodeSpec().scheduling == "fifo"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(scheduling="wfq")
+
+    def test_set_scheduling_preserves_queue_size(self):
+        topology = Topology()
+        topology.add_node(0, queue_size=7)
+        topology.set_scheduling(0, "priority")
+        assert topology.node_spec(0).scheduling == "priority"
+        assert topology.node_spec(0).queue_size == 7
+        assert topology.scheduling_policies() == {0: "priority"}
+
+    def test_scheduling_survives_copy_and_io(self):
+        topology = Topology()
+        topology.add_node(0, queue_size=4, scheduling="priority")
+        topology.add_node(1)
+        topology.add_link(0, 1, bidirectional=True)
+        assert topology.copy().node_spec(0).scheduling == "priority"
+        rebuilt = topology_from_dict(topology_to_dict(topology))
+        assert rebuilt.node_spec(0).scheduling == "priority"
+        assert rebuilt.node_spec(1).scheduling == "fifo"
+
+    def test_set_queue_size_preserves_scheduling(self):
+        topology = Topology()
+        topology.add_node(0, scheduling="priority")
+        topology.set_queue_size(0, 3)
+        assert topology.node_spec(0).scheduling == "priority"
+
+
+def _shared_bottleneck(scheduling: str):
+    """Two sources share one congested 1 Mbps link towards node 2."""
+    topology = Topology("bottleneck")
+    topology.add_node(0, queue_size=64, scheduling=scheduling)
+    topology.add_node(1, queue_size=64)
+    topology.add_node(2, queue_size=64)
+    topology.add_link(0, 1, capacity=1e6, propagation_delay=0.0, bidirectional=True)
+    topology.add_link(1, 2, capacity=10e6, propagation_delay=0.0, bidirectional=True)
+    routing = shortest_path_routing(topology)
+    traffic = TrafficMatrix.zeros(3)
+    traffic.set_demand(0, 1, 0.45e6)
+    traffic.set_demand(0, 2, 0.45e6)
+    return topology, routing, traffic
+
+
+class TestEndToEndPriorityEffect:
+    def test_priority_flow_gets_lower_delay(self):
+        topology, routing, traffic = _shared_bottleneck("priority")
+        config = SimulationConfig(duration=20.0, warmup=2.0, seed=4,
+                                  flow_priorities={(0, 2): 0, (0, 1): 1})
+        result = simulate_network(topology, routing, traffic, config)
+        high = result.flow_stats[(0, 2)].average_delay
+        low = result.flow_stats[(0, 1)].average_delay
+        assert high < low
+
+    def test_fifo_treats_classes_equally(self):
+        topology, routing, traffic = _shared_bottleneck("fifo")
+        config = SimulationConfig(duration=20.0, warmup=2.0, seed=4,
+                                  flow_priorities={(0, 2): 0, (0, 1): 1})
+        result = simulate_network(topology, routing, traffic, config)
+        high = result.flow_stats[(0, 2)].average_delay
+        low = result.flow_stats[(0, 1)].average_delay
+        # Same shared FIFO: both classes see similar queueing (within 25%).
+        assert high == pytest.approx(low, rel=0.25)
+
+    def test_invalid_priority_config(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(flow_priorities={(0, 1): 5}, num_traffic_classes=2)
+        with pytest.raises(ValueError):
+            SimulationConfig(num_traffic_classes=0)

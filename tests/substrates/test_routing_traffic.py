@@ -1,0 +1,292 @@
+"""Tests for routing schemes, routing matrices and traffic-matrix generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    RoutingScheme,
+    k_shortest_paths,
+    next_hop_tables,
+    random_variation_routing,
+    routing_matrix,
+    shortest_path_routing,
+    weighted_shortest_path_routing,
+)
+from repro.topology import geant2_topology, linear_topology, nsfnet_topology, ring_topology
+from repro.traffic import (
+    TrafficMatrix,
+    bimodal_traffic,
+    gravity_traffic,
+    hotspot_traffic,
+    scaled_to_utilization,
+    uniform_traffic,
+)
+
+
+class TestRoutingScheme:
+    def test_shortest_path_routing_covers_all_pairs(self):
+        topology = nsfnet_topology()
+        scheme = shortest_path_routing(topology)
+        assert scheme.num_paths == 14 * 13
+
+    def test_paths_are_valid(self):
+        topology = ring_topology(6)
+        scheme = shortest_path_routing(topology)
+        for (source, destination), path in scheme.items():
+            assert path[0] == source and path[-1] == destination
+            for u, v in zip(path[:-1], path[1:]):
+                assert topology.has_link(u, v)
+
+    def test_deterministic(self):
+        topology = geant2_topology()
+        s1 = shortest_path_routing(topology)
+        s2 = shortest_path_routing(topology)
+        assert s1.node_paths() == s2.node_paths()
+
+    def test_link_path_matches_node_path(self):
+        topology = linear_topology(4)
+        scheme = shortest_path_routing(topology)
+        node_path = scheme.path(0, 3)
+        link_path = scheme.link_path(0, 3)
+        assert len(link_path) == len(node_path) - 1
+        assert link_path == topology.path_links(node_path)
+
+    def test_invalid_paths_rejected(self):
+        topology = linear_topology(4)
+        with pytest.raises(ValueError):
+            RoutingScheme(topology, {(0, 3): [0, 2, 3]})      # missing link 0->2
+        with pytest.raises(ValueError):
+            RoutingScheme(topology, {(0, 3): [0, 1, 2]})      # wrong endpoint
+        with pytest.raises(ValueError):
+            RoutingScheme(topology, {(0, 3): [0]})            # too short
+        with pytest.raises(ValueError):
+            RoutingScheme(topology, {(0, 0): [0, 1, 0]})      # same endpoints
+        with pytest.raises(ValueError):
+            RoutingScheme(topology, {(0, 2): [0, 1, 0, 1, 2]})  # revisits nodes
+
+    def test_missing_pair_raises(self):
+        topology = linear_topology(3)
+        scheme = RoutingScheme(topology, {(0, 2): [0, 1, 2]})
+        with pytest.raises(KeyError):
+            scheme.path(2, 0)
+        assert scheme.has_path(0, 2)
+        assert not scheme.has_path(2, 0)
+
+    def test_next_hop(self):
+        topology = linear_topology(4)
+        scheme = shortest_path_routing(topology)
+        assert scheme.next_hop(0, 3) == 1
+        assert scheme.next_hop(1, 3) == 2
+        assert scheme.next_hop(3, 0) == 2
+
+    def test_average_path_length(self):
+        topology = linear_topology(3)
+        scheme = shortest_path_routing(topology)
+        # Pairs: (0,1)=1, (0,2)=2, (1,0)=1, (1,2)=1, (2,0)=2, (2,1)=1 -> mean 8/6.
+        assert scheme.average_path_length() == pytest.approx(8 / 6)
+
+    def test_paths_through_link_and_node(self):
+        topology = linear_topology(3)
+        scheme = shortest_path_routing(topology)
+        middle_pairs = scheme.paths_through_node(1)
+        assert (0, 2) in middle_pairs and (2, 0) in middle_pairs
+        link01 = topology.link_index(0, 1)
+        assert (0, 1) in scheme.paths_through_link(link01)
+        assert (2, 1) not in scheme.paths_through_link(link01)
+
+    def test_serialisation_round_trip(self):
+        topology = nsfnet_topology()
+        scheme = shortest_path_routing(topology)
+        rebuilt = RoutingScheme.from_dict(topology, scheme.to_dict())
+        assert rebuilt.node_paths() == scheme.node_paths()
+
+    def test_weighted_routing_prefers_capacity(self):
+        topology = ring_topology(4)
+        # Make one direction of the ring slow.
+        scheme_hops = shortest_path_routing(topology)
+        scheme_cap = weighted_shortest_path_routing(topology, weight="inverse_capacity")
+        assert scheme_hops.num_paths == scheme_cap.num_paths
+
+    def test_subset_of_pairs(self):
+        topology = nsfnet_topology()
+        scheme = shortest_path_routing(topology, pairs=[(0, 5), (3, 9)])
+        assert scheme.pairs() == [(0, 5), (3, 9)]
+
+
+class TestKShortestAndRandomRouting:
+    def test_k_shortest_ordered(self):
+        topology = ring_topology(6)
+        paths = k_shortest_paths(topology, 0, 3, k=2)
+        assert len(paths) == 2
+        assert len(paths[0]) <= len(paths[1])
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(ring_topology(4), 0, 1, k=0)
+
+    def test_random_variation_reproducible(self):
+        topology = geant2_topology()
+        pairs = [(0, 7), (3, 20), (5, 23)]
+        s1 = random_variation_routing(topology, k=3, rng=np.random.default_rng(5), pairs=pairs)
+        s2 = random_variation_routing(topology, k=3, rng=np.random.default_rng(5), pairs=pairs)
+        assert s1.node_paths() == s2.node_paths()
+
+    def test_random_variation_valid(self):
+        topology = nsfnet_topology()
+        scheme = random_variation_routing(topology, k=2, rng=np.random.default_rng(0))
+        assert scheme.num_paths == 14 * 13
+
+
+class TestRoutingTables:
+    def test_routing_matrix_shape_and_content(self):
+        topology = linear_topology(3)
+        scheme = shortest_path_routing(topology)
+        matrix = routing_matrix(scheme)
+        assert matrix.shape == (6, topology.num_links)
+        row = scheme.pairs().index((0, 2))
+        assert matrix[row].sum() == 2
+
+    def test_routing_matrix_row_lengths(self):
+        topology = nsfnet_topology()
+        scheme = shortest_path_routing(topology)
+        matrix = routing_matrix(scheme)
+        lengths = [len(p) for p in scheme.link_paths()]
+        np.testing.assert_array_equal(matrix.sum(axis=1), lengths)
+
+    def test_next_hop_tables(self):
+        topology = linear_topology(4)
+        scheme = shortest_path_routing(topology)
+        tables = next_hop_tables(scheme)
+        assert tables[0][3] == 1
+        assert tables[2][0] == 1
+
+    def test_next_hop_conflict_detected(self):
+        topology = ring_topology(4)
+        # Two paths to node 2 through node 1 disagreeing on the next hop is
+        # impossible in a ring of 4 with simple paths, so build it manually.
+        paths = {
+            (0, 2): [0, 1, 2],
+            (1, 2): [1, 0, 3, 2],
+        }
+        scheme = RoutingScheme(topology, paths)
+        with pytest.raises(ValueError):
+            next_hop_tables(scheme)
+
+
+class TestTrafficMatrix:
+    def test_basic_accessors(self):
+        tm = TrafficMatrix.zeros(4)
+        tm.set_demand(0, 1, 100.0)
+        assert tm.demand(0, 1) == 100.0
+        assert tm.demand(1, 0) == 0.0
+        assert tm.total_demand() == 100.0
+        assert tm.nonzero_pairs() == [(0, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            TrafficMatrix(-np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.eye(3))
+        with pytest.raises(ValueError):
+            TrafficMatrix.zeros(1)
+
+    def test_self_demand_forbidden(self):
+        tm = TrafficMatrix.zeros(3)
+        with pytest.raises(ValueError):
+            tm.set_demand(1, 1, 5.0)
+        assert tm.demand(2, 2) == 0.0
+
+    def test_scale(self):
+        tm = TrafficMatrix.zeros(3)
+        tm.set_demand(0, 1, 10.0)
+        scaled = tm.scale(2.5)
+        assert scaled.demand(0, 1) == 25.0
+        assert tm.demand(0, 1) == 10.0
+
+    def test_as_vector_order(self):
+        tm = TrafficMatrix.zeros(3)
+        tm.set_demand(0, 1, 1.0)
+        tm.set_demand(2, 0, 3.0)
+        vec = tm.as_vector([(2, 0), (0, 1)])
+        np.testing.assert_allclose(vec, [3.0, 1.0])
+
+    def test_dict_round_trip(self):
+        tm = uniform_traffic(5, 10, 20, rng=np.random.default_rng(0))
+        rebuilt = TrafficMatrix.from_dict(tm.to_dict())
+        assert rebuilt == tm
+
+    def test_equality(self):
+        a = TrafficMatrix.zeros(3)
+        b = TrafficMatrix.zeros(3)
+        assert a == b
+        b.set_demand(0, 1, 1.0)
+        assert a != b
+
+
+class TestTrafficGenerators:
+    def test_uniform_bounds(self):
+        tm = uniform_traffic(6, 100, 200, rng=np.random.default_rng(0))
+        values = [d for _, _, d in tm.pairs()]
+        assert all(100 <= v <= 200 for v in values)
+        assert len(values) == 30
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_traffic(1, 0, 1)
+        with pytest.raises(ValueError):
+            uniform_traffic(3, 5, 1)
+
+    def test_gravity_total(self):
+        tm = gravity_traffic(8, total_traffic=1e6, rng=np.random.default_rng(1))
+        assert tm.total_demand() == pytest.approx(1e6)
+
+    def test_gravity_validation(self):
+        with pytest.raises(ValueError):
+            gravity_traffic(5, 0)
+
+    def test_bimodal_levels(self):
+        tm = bimodal_traffic(10, low=1.0, high=100.0, high_fraction=0.3,
+                             rng=np.random.default_rng(2))
+        values = {d for _, _, d in tm.pairs()}
+        assert values <= {1.0, 100.0}
+        assert 100.0 in values
+
+    def test_hotspot(self):
+        tm = hotspot_traffic(6, background=10.0, hotspot_node=2, hotspot_demand=500.0,
+                             rng=np.random.default_rng(3))
+        assert tm.demand(0, 2) == 500.0
+        assert tm.demand(2, 0) != 500.0
+        with pytest.raises(ValueError):
+            hotspot_traffic(4, 1.0, hotspot_node=9, hotspot_demand=10.0)
+
+    def test_scaled_to_utilization(self):
+        topology = nsfnet_topology(capacity=10e6)
+        scheme = shortest_path_routing(topology)
+        tm = uniform_traffic(14, 1e4, 5e4, rng=np.random.default_rng(4))
+        scaled = scaled_to_utilization(tm, scheme, 0.7)
+        matrix = routing_matrix(scheme)
+        loads = matrix.T @ scaled.as_vector(scheme.pairs())
+        peak = (loads / np.array(topology.capacities())).max()
+        assert peak == pytest.approx(0.7, rel=1e-9)
+
+    def test_scaled_requires_traffic(self):
+        topology = nsfnet_topology()
+        scheme = shortest_path_routing(topology)
+        with pytest.raises(ValueError):
+            scaled_to_utilization(TrafficMatrix.zeros(14), scheme, 0.5)
+
+    @given(st.integers(3, 8), st.floats(0.1, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_property(self, n, target):
+        topology = ring_topology(n)
+        scheme = shortest_path_routing(topology)
+        tm = uniform_traffic(n, 1e3, 1e5, rng=np.random.default_rng(n))
+        scaled = scaled_to_utilization(tm, scheme, target)
+        matrix = routing_matrix(scheme)
+        loads = matrix.T @ scaled.as_vector(scheme.pairs())
+        peak = (loads / np.array(topology.capacities())).max()
+        assert peak == pytest.approx(target, rel=1e-9)
