@@ -1,0 +1,98 @@
+"""Training throughput vs mini-batch size.
+
+Mini-batching merges several scenarios into one disjoint-union graph per
+optimisation step (``repro.datasets.batching``), so the per-step Python and
+autograd overhead — building the computation graph, the optimiser book-keeping,
+the message-passing index — amortises over the whole batch.  This benchmark
+trains the same model on the same scenarios at batch sizes 1 / 4 / 16 and
+records the throughput in trained samples per second; batching must make
+training strictly faster per sample.
+
+The scenarios are deliberately small graphs (a 5-node ring, 20 paths each):
+that is the regime where the fixed per-step cost dominates and batching pays
+the most.  On much larger graphs the merged batch outgrows the CPU caches
+and the backward pass becomes memory-bound, which caps the achievable
+speedup — scaling that regime is future work (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.models import ExtendedRouteNet, RouteNetConfig, RouteNetTrainer, TrainerConfig
+from repro.topology import ring_topology
+
+BATCH_SIZES = (1, 4, 16)
+NUM_SAMPLES = 32
+EPOCHS = 2
+
+
+@pytest.fixture(scope="module")
+def training_samples():
+    return generate_dataset(ring_topology(5),
+                            DatasetConfig(num_samples=NUM_SAMPLES, seed=41,
+                                          small_queue_fraction=0.5))
+
+
+def _throughput(samples, batch_size: int, bench_scale, repetitions: int = 2) -> float:
+    """Train fresh models and return the best trained-samples-per-second.
+
+    Taking the best of a couple of repetitions damps scheduler noise on
+    shared CI runners, where a single run can stall for unrelated reasons.
+    """
+    best = 0.0
+    for _ in range(repetitions):
+        model = ExtendedRouteNet(RouteNetConfig(
+            link_state_dim=bench_scale["state_dim"],
+            path_state_dim=bench_scale["state_dim"],
+            node_state_dim=bench_scale["state_dim"],
+            message_passing_iterations=bench_scale["iterations"],
+            seed=41,
+        ))
+        trainer = RouteNetTrainer(model, TrainerConfig(
+            epochs=EPOCHS, learning_rate=0.003, batch_size=batch_size, seed=41))
+        start = time.perf_counter()
+        trainer.fit(samples)
+        elapsed = time.perf_counter() - start
+        best = max(best, EPOCHS * len(samples) / elapsed)
+    return best
+
+
+def test_batched_training_throughput(training_samples, bench_scale):
+    """Record samples/sec at batch sizes 1/4/16; batching must pay off."""
+    throughput = {batch_size: _throughput(training_samples, batch_size, bench_scale)
+                  for batch_size in BATCH_SIZES}
+
+    print("\ntraining throughput (trained samples per second)")
+    for batch_size in BATCH_SIZES:
+        speedup = throughput[batch_size] / throughput[1]
+        print(f"  batch_size={batch_size:2d} : {throughput[batch_size]:8.2f} samples/s "
+              f"({speedup:4.2f}x vs batch_size=1)")
+
+    # The acceptance bar: a full batch must train strictly faster per sample
+    # than one-scenario-per-step training.
+    assert throughput[16] > throughput[1]
+
+
+def test_batched_step_equivalent_loss_scale(training_samples, bench_scale):
+    """Batched training optimises the same objective (losses stay comparable)."""
+    histories = {}
+    for batch_size in (1, 16):
+        model = ExtendedRouteNet(RouteNetConfig(
+            link_state_dim=bench_scale["state_dim"],
+            path_state_dim=bench_scale["state_dim"],
+            node_state_dim=bench_scale["state_dim"],
+            message_passing_iterations=bench_scale["iterations"],
+            seed=41,
+        ))
+        trainer = RouteNetTrainer(model, TrainerConfig(
+            epochs=EPOCHS, learning_rate=0.003, batch_size=batch_size, seed=41))
+        histories[batch_size] = trainer.fit(training_samples)
+    # Both runs start from identical weights on the same data: the first
+    # epoch's average per-path loss must be in the same ballpark.
+    first_small = histories[1].train_loss[0]
+    first_large = histories[16].train_loss[0]
+    assert first_large < 5 * first_small + 1.0

@@ -25,6 +25,9 @@ def main() -> None:
     parser.add_argument("--train-samples", type=int, default=50)
     parser.add_argument("--eval-samples", type=int, default=20)
     parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="scenarios merged into one optimisation step "
+                             "(1 = the seed reproduction's step sequence)")
     parser.add_argument("--state-dim", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
@@ -41,6 +44,7 @@ def main() -> None:
         num_train_samples=args.train_samples,
         num_eval_samples=args.eval_samples,
         epochs=args.epochs,
+        batch_size=args.batch_size,
         state_dim=args.state_dim,
         seed=args.seed,
     )

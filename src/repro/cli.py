@@ -66,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--model", choices=sorted(_MODELS), default="extended")
     train.add_argument("--epochs", type=int, default=20)
     train.add_argument("--learning-rate", type=float, default=0.001)
+    train.add_argument("--batch-size", type=int, default=1,
+                       help="scenarios merged into one optimisation step")
     train.add_argument("--state-dim", type=int, default=16)
     train.add_argument("--iterations", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
@@ -82,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--train-samples", type=int, default=40)
     fig2.add_argument("--eval-samples", type=int, default=15)
     fig2.add_argument("--epochs", type=int, default=10)
+    fig2.add_argument("--batch-size", type=int, default=1,
+                      help="scenarios merged into one optimisation step")
     fig2.add_argument("--state-dim", type=int, default=16)
     fig2.add_argument("--seed", type=int, default=0)
 
@@ -121,7 +125,8 @@ def _command_train(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.state_dim, args.iterations, args.seed)
     trainer = RouteNetTrainer(
         model,
-        TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate, seed=args.seed),
+        TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate,
+                      batch_size=args.batch_size, seed=args.seed),
         normalizer=normalizer,
     )
     history = trainer.fit(train_samples, val_samples=val_samples or None)
@@ -162,6 +167,7 @@ def _command_fig2(args: argparse.Namespace) -> int:
         num_train_samples=args.train_samples,
         num_eval_samples=args.eval_samples,
         epochs=args.epochs,
+        batch_size=args.batch_size,
         state_dim=args.state_dim,
         seed=args.seed,
     )

@@ -22,6 +22,7 @@ from repro.datasets.simulation import SimulationGroundTruth
 from repro.datasets.generator import DatasetConfig, DatasetGenerator, generate_dataset
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.tensorize import TensorizedSample, tensorize_sample
+from repro.datasets.batching import make_batches, merge_tensorized_samples
 from repro.datasets.splits import train_val_test_split
 from repro.datasets.storage import load_dataset, save_dataset
 
@@ -35,6 +36,8 @@ __all__ = [
     "FeatureNormalizer",
     "TensorizedSample",
     "tensorize_sample",
+    "make_batches",
+    "merge_tensorized_samples",
     "train_val_test_split",
     "save_dataset",
     "load_dataset",

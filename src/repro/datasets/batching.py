@@ -11,7 +11,7 @@ implementation uses with ``tf.data`` batching.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,15 +25,30 @@ def merge_tensorized_samples(samples: Sequence[TensorizedSample]) -> TensorizedS
 
     All samples must share the same ``target_name``.  The merged sample's
     links/nodes/paths are the disjoint union of the inputs'; sequences are
-    padded to the longest path in the batch.
+    padded to the longest path in the batch.  The result is always a fresh
+    :class:`TensorizedSample` sharing no arrays with the inputs — a
+    single-sample "merge" returns a defensive copy, so the short last batch
+    of an epoch never aliases a cached per-sample tensorisation.  The merged
+    ``sample_path_offsets`` record the per-scenario path boundaries (already
+    merged inputs contribute their own boundaries), so predictions can be
+    mapped back to scenarios with :meth:`TensorizedSample.unmerge`.
     """
     samples = list(samples)
     if not samples:
         raise ValueError("cannot merge an empty list of samples")
     if len({s.target_name for s in samples}) != 1:
         raise ValueError("samples must share the same target metric")
+
+    offsets: List[int] = [0]
+    for sample in samples:
+        base = offsets[-1]
+        offsets.extend(base + sample.path_offsets[1:])
+
     if len(samples) == 1:
-        return samples[0]
+        merged = samples[0].copy()
+        merged.sample_path_offsets = np.asarray(offsets, dtype=np.int64)
+        merged.validate()
+        return merged
 
     max_len = max(s.max_path_length for s in samples)
     total_paths = sum(s.num_paths for s in samples)
@@ -84,13 +99,14 @@ def merge_tensorized_samples(samples: Sequence[TensorizedSample]) -> TensorizedS
         pair_order=pair_order,
         target_name=samples[0].target_name,
         raw_targets=raw_targets,
+        sample_path_offsets=np.asarray(offsets, dtype=np.int64),
     )
     merged.validate()
     return merged
 
 
 def make_batches(samples: Sequence[TensorizedSample], batch_size: int,
-                 rng: np.random.Generator = None) -> List[TensorizedSample]:
+                 rng: Optional[np.random.Generator] = None) -> List[TensorizedSample]:
     """Group tensorised samples into merged batches of ``batch_size``.
 
     The last batch may be smaller.  When ``rng`` is given the samples are

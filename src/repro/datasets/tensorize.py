@@ -18,7 +18,7 @@ index matrices, mirroring how the reference TensorFlow implementation feeds
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,13 @@ __all__ = ["TensorizedSample", "tensorize_sample"]
 
 @dataclasses.dataclass
 class TensorizedSample:
-    """Dense arrays describing one sample for the models."""
+    """Dense arrays describing one sample for the models.
+
+    A *merged* sample (see :mod:`repro.datasets.batching`) is the disjoint
+    union of several scenarios; ``sample_path_offsets`` then records the path
+    boundaries so per-path outputs can be mapped back to their scenario with
+    :meth:`unmerge`.
+    """
 
     link_features: np.ndarray
     node_features: np.ndarray
@@ -46,6 +52,15 @@ class TensorizedSample:
     target_name: str = "delay"
     #: The un-normalised values of the selected target metric.
     raw_targets: Optional[np.ndarray] = None
+    #: Cumulative path boundaries of the merged scenarios, shape
+    #: ``(num_merged_samples + 1,)`` starting at 0 and ending at ``num_paths``.
+    #: ``None`` means the sample is a single, unmerged scenario.
+    sample_path_offsets: Optional[np.ndarray] = None
+    #: Memoised :class:`~repro.models.message_passing.MessagePassingIndex`,
+    #: filled lazily by ``build_index`` so repeated forward passes over the
+    #: same sample (e.g. one per epoch) do not rebuild the flat entry lists.
+    _index_cache: Optional[object] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def num_paths(self) -> int:
@@ -62,6 +77,52 @@ class TensorizedSample:
     @property
     def max_path_length(self) -> int:
         return self.link_sequences.shape[1]
+
+    @property
+    def num_merged_samples(self) -> int:
+        """How many scenarios this sample represents (1 unless merged)."""
+        if self.sample_path_offsets is None:
+            return 1
+        return len(self.sample_path_offsets) - 1
+
+    @property
+    def path_offsets(self) -> np.ndarray:
+        """Path boundaries per merged scenario (``[0, num_paths]`` if unmerged)."""
+        if self.sample_path_offsets is None:
+            return np.array([0, self.num_paths], dtype=np.int64)
+        return np.asarray(self.sample_path_offsets, dtype=np.int64)
+
+    def unmerge(self, values: Sequence) -> List:
+        """Split a per-path sequence back into per-scenario chunks.
+
+        ``values`` must have one entry per path (a prediction array, the
+        targets, or ``pair_order`` itself); the result has one chunk per
+        merged scenario, in merge order.
+        """
+        if len(values) != self.num_paths:
+            raise ValueError(
+                f"expected {self.num_paths} per-path values, got {len(values)}")
+        offsets = self.path_offsets
+        return [values[start:stop] for start, stop in zip(offsets[:-1], offsets[1:])]
+
+    def copy(self) -> "TensorizedSample":
+        """Return a deep copy whose arrays share no memory with this sample.
+
+        Iterates the dataclass fields so future fields are copied too; the
+        memoised index cache (``init=False``) is deliberately not carried
+        over — the copy owns fresh arrays and rebuilds its own index.
+        """
+        updates = {}
+        for field in dataclasses.fields(self):
+            if not field.init:
+                continue
+            value = getattr(self, field.name)
+            if isinstance(value, np.ndarray):
+                value = value.copy()
+            elif isinstance(value, list):
+                value = list(value)
+            updates[field.name] = value
+        return TensorizedSample(**updates)
 
     def validate(self) -> None:
         """Internal consistency checks (used by tests and property checks)."""
@@ -80,6 +141,14 @@ class TensorizedSample:
             raise ValueError("link index out of range")
         if self.node_sequences.max(initial=0) >= self.num_nodes:
             raise ValueError("node index out of range")
+        if self.sample_path_offsets is not None:
+            offsets = np.asarray(self.sample_path_offsets)
+            if offsets.ndim != 1 or len(offsets) < 2:
+                raise ValueError("sample_path_offsets must be a 1-D boundary array")
+            if offsets[0] != 0 or offsets[-1] != self.num_paths:
+                raise ValueError("sample_path_offsets must span [0, num_paths]")
+            if np.any(np.diff(offsets) <= 0):
+                raise ValueError("sample_path_offsets must be strictly increasing")
 
 
 def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = None,

@@ -122,11 +122,14 @@ class ExtendedRouteNet(Module):
 
     def _gather_interleaved_sequence(self, sample: TensorizedSample, link_states: Tensor,
                                      node_states: Tensor) -> Tuple[Tensor, np.ndarray]:
-        steps = []
-        for position in range(sample.max_path_length):
-            steps.append(node_states.gather(sample.node_sequences[:, position]))
-            steps.append(link_states.gather(sample.link_sequences[:, position]))
-        sequence = F.stack(steps, axis=1)
+        # Two fancy-index gathers build the per-hop node and link states in
+        # one shot; stacking them on a new axis and flattening it interleaves
+        # the hops as node1-link1-node2-link2-… (row-major order).
+        node_part = node_states.gather(sample.node_sequences)
+        link_part = link_states.gather(sample.link_sequences)
+        num_paths, max_len = sample.link_sequences.shape
+        sequence = F.stack([node_part, link_part], axis=2).reshape(
+            num_paths, 2 * max_len, link_part.shape[-1])
         mask = np.repeat(sample.sequence_mask, 2, axis=1)
         return sequence, mask
 

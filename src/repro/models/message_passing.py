@@ -46,9 +46,18 @@ class MessagePassingIndex:
 
 
 def build_index(sample: TensorizedSample) -> MessagePassingIndex:
-    """Flatten the padded sequences of a sample into valid (path, hop) entries."""
+    """Flatten the padded sequences of a sample into valid (path, hop) entries.
+
+    The result is memoised on the sample (``sample._index_cache``): the index
+    depends only on the sample's routing structure, which is immutable after
+    tensorisation, so repeated forward passes over the same sample — one per
+    epoch during training, or one per model in a comparison — reuse it
+    instead of re-flattening the padded sequences every step.
+    """
+    if sample._index_cache is not None:
+        return sample._index_cache
     path_ids, positions = np.nonzero(sample.sequence_mask > 0)
-    return MessagePassingIndex(
+    index = MessagePassingIndex(
         entry_path_ids=path_ids.astype(np.int64),
         entry_positions=positions.astype(np.int64),
         entry_link_ids=sample.link_sequences[path_ids, positions].astype(np.int64),
@@ -57,6 +66,8 @@ def build_index(sample: TensorizedSample) -> MessagePassingIndex:
         num_links=sample.num_links,
         num_nodes=sample.num_nodes,
     )
+    sample._index_cache = index
+    return index
 
 
 def initial_state(features: np.ndarray, state_dim: int) -> Tensor:

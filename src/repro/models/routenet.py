@@ -86,9 +86,10 @@ class RouteNet(Module):
         return new_path_states, new_link_states
 
     def _gather_link_sequence(self, sample: TensorizedSample, link_states: Tensor) -> Tensor:
-        steps = [link_states.gather(sample.link_sequences[:, position])
-                 for position in range(sample.max_path_length)]
-        return F.stack(steps, axis=1)
+        # One fancy-index gather builds the whole (num_paths, max_len, dim)
+        # sequence; padded positions read link 0 but are masked out by the
+        # RNN scan, exactly as with the former per-position loop.
+        return link_states.gather(sample.link_sequences)
 
     # ------------------------------------------------------------------ #
     def predict(self, sample: TensorizedSample) -> np.ndarray:

@@ -164,12 +164,17 @@ def run_rnn_over_sequence(
         raise ValueError(f"mask shape {mask.shape} does not match sequence {(batch, max_len)}")
 
     state = initial_state if initial_state is not None else cell.initial_state(batch)
+    valid = mask > 0
+    fully_valid = valid.all(axis=0)
     outputs = []
     for step in range(max_len):
         step_input = sequence[:, step, :]
         new_state = cell(step_input, state)
-        step_mask = mask[:, step].reshape(batch, 1)
-        state = where(step_mask > 0, new_state, state)
+        if fully_valid[step]:
+            # No padding at this step: skip the masking select entirely.
+            state = new_state
+        else:
+            state = where(valid[:, step].reshape(batch, 1), new_state, state)
         outputs.append(state)
     stacked = F.stack(outputs, axis=1)
     return stacked, state

@@ -67,6 +67,18 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(key) -> bool:
+    """True when ``key`` is basic NumPy indexing (ints/slices/ellipsis only).
+
+    Basic indexing selects every element at most once, so gradients can be
+    scattered with ``+=`` instead of the much slower ``np.add.at`` that
+    advanced (integer/boolean array) indexing needs for repeated indices.
+    """
+    items = key if isinstance(key, tuple) else (key,)
+    return all(isinstance(item, (int, np.integer, slice, type(Ellipsis), type(None)))
+               for item in items)
+
+
 class Tensor:
     """A NumPy-backed tensor with reverse-mode automatic differentiation."""
 
@@ -154,6 +166,11 @@ class Tensor:
             return
         if self.grad is None:
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        elif self.grad.shape == np.shape(grad):
+            # The buffer is owned by this tensor (created by the copy above),
+            # so adding in place avoids a full-size temporary per contribution
+            # — the dominant cost of backward on large merged batches.
+            self.grad += grad
         else:
             self.grad = self.grad + grad
 
@@ -464,13 +481,29 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    def _scatter_accumulate(self, key, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad[key]`` without a full temporary.
+
+        Indexing nodes only touch the selected entries, so scattering straight
+        into the (owned) gradient buffer keeps their backward cost proportional
+        to the slice, not to the whole tensor — crucial for the per-step slices
+        of the RNN scan over large merged batches.
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        if _is_basic_index(key):
+            # Basic indexing selects each element at most once.
+            self.grad[key] += grad
+        else:
+            np.add.at(self.grad, key, grad)
+
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, key, grad)
-            self._accumulate(full)
+            self._scatter_accumulate(key, grad)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -486,9 +519,7 @@ class Tensor:
         out_data = self.data[indices]
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, indices, grad)
-            self._accumulate(full)
+            self._scatter_accumulate(indices, grad)
 
         return Tensor._make(out_data, (self,), backward)
 

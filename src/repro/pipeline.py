@@ -76,6 +76,7 @@ def run_fig2_experiment(
     message_passing_iterations: int = 4,
     state_dim: int = 16,
     learning_rate: float = 0.003,
+    batch_size: int = 1,
     seed: int = 0,
     backend: str = "analytic",
     utilization_range=(0.35, 0.8),
@@ -116,7 +117,8 @@ def run_fig2_experiment(
         message_passing_iterations=message_passing_iterations,
         seed=seed,
     )
-    trainer_config = TrainerConfig(epochs=epochs, learning_rate=learning_rate, seed=seed)
+    trainer_config = TrainerConfig(epochs=epochs, learning_rate=learning_rate,
+                                   batch_size=batch_size, seed=seed)
 
     cdfs: Dict[str, ErrorCDF] = {}
     metrics: Dict[str, Dict[str, object]] = {}

@@ -59,9 +59,58 @@ class TestMergeTensorizedSamples:
         np.testing.assert_allclose(
             merged.targets, np.concatenate([t.targets for t in tensorized]))
 
-    def test_single_sample_passthrough(self):
+    def test_single_sample_returns_defensive_copy(self):
+        """A 1-sample merge must not alias the cached per-sample arrays."""
         _, tensorized = _tensorized_list(1)
-        assert merge_tensorized_samples(tensorized) is tensorized[0]
+        merged = merge_tensorized_samples(tensorized)
+        assert merged is not tensorized[0]
+        for field in ("link_features", "node_features", "path_features",
+                      "link_sequences", "node_sequences", "sequence_mask",
+                      "path_lengths", "targets", "raw_delays", "raw_targets"):
+            original = getattr(tensorized[0], field)
+            copied = getattr(merged, field)
+            np.testing.assert_array_equal(copied, original)
+            assert not np.shares_memory(copied, original)
+        assert merged.pair_order == tensorized[0].pair_order
+        assert merged.pair_order is not tensorized[0].pair_order
+        np.testing.assert_array_equal(merged.sample_path_offsets,
+                                      [0, tensorized[0].num_paths])
+        merged.validate()
+
+    def test_merged_offsets_and_unmerge(self):
+        _, tensorized = _tensorized_list(3)
+        merged = merge_tensorized_samples(tensorized)
+        expected = np.cumsum([0] + [t.num_paths for t in tensorized])
+        np.testing.assert_array_equal(merged.sample_path_offsets, expected)
+        assert merged.num_merged_samples == 3
+        chunks = merged.unmerge(merged.targets)
+        assert len(chunks) == 3
+        for chunk, sample in zip(chunks, tensorized):
+            np.testing.assert_allclose(chunk, sample.targets)
+        pair_chunks = merged.unmerge(merged.pair_order)
+        for chunk, sample in zip(pair_chunks, tensorized):
+            assert list(chunk) == list(sample.pair_order)
+
+    def test_nested_merge_keeps_scenario_boundaries(self):
+        _, tensorized = _tensorized_list(3)
+        inner = merge_tensorized_samples(tensorized[:2])
+        merged = merge_tensorized_samples([inner, tensorized[2]])
+        expected = np.cumsum([0] + [t.num_paths for t in tensorized])
+        np.testing.assert_array_equal(merged.sample_path_offsets, expected)
+        assert merged.num_merged_samples == 3
+
+    def test_unmerge_length_mismatch_rejected(self):
+        _, tensorized = _tensorized_list(2)
+        merged = merge_tensorized_samples(tensorized)
+        with pytest.raises(ValueError):
+            merged.unmerge(np.zeros(merged.num_paths + 1))
+
+    def test_unmerged_sample_unmerge_is_identity(self):
+        _, tensorized = _tensorized_list(1)
+        sample = tensorized[0]
+        assert sample.num_merged_samples == 1
+        (chunk,) = sample.unmerge(sample.targets)
+        np.testing.assert_allclose(chunk, sample.targets)
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
