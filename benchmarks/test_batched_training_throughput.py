@@ -1,4 +1,4 @@
-"""Training throughput vs mini-batch size.
+"""Training throughput and peak memory vs mini-batch size and dtype.
 
 Mini-batching merges several scenarios into one disjoint-union graph per
 optimisation step (``repro.datasets.batching``), so the per-step Python and
@@ -10,15 +10,20 @@ training strictly faster per sample.
 
 The scenarios are deliberately small graphs (a 5-node ring, 20 paths each):
 that is the regime where the fixed per-step cost dominates and batching pays
-the most.  On much larger graphs the merged batch outgrows the CPU caches
-and the backward pass becomes memory-bound, which caps the achievable
-speedup — scaling that regime is future work (see ROADMAP).
+the most.  On much larger merged graphs the backward pass becomes
+memory-bound; the float32 stack (``dtype="float32"``), the fused masked
+update / gather-segment-sum autograd nodes and the per-backward gradient
+buffer pool attack exactly that regime, so this module also records
+tracemalloc peaks per batch size in both precisions and holds the fused ops
+against their unfused (seed) formulations.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 
+import numpy as np
 import pytest
 
 from repro.datasets import DatasetConfig, generate_dataset
@@ -26,6 +31,8 @@ from repro.models import ExtendedRouteNet, RouteNetConfig, RouteNetTrainer, Trai
 from repro.topology import ring_topology
 
 BATCH_SIZES = (1, 4, 16)
+MEMORY_BATCH_SIZES = (1, 4, 16, 32)
+DTYPES = ("float64", "float32")
 NUM_SAMPLES = 32
 EPOCHS = 2
 
@@ -37,7 +44,22 @@ def training_samples():
                                           small_queue_fraction=0.5))
 
 
-def _throughput(samples, batch_size: int, bench_scale, repetitions: int = 2) -> float:
+def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS):
+    model = ExtendedRouteNet(RouteNetConfig(
+        link_state_dim=bench_scale["state_dim"],
+        path_state_dim=bench_scale["state_dim"],
+        node_state_dim=bench_scale["state_dim"],
+        message_passing_iterations=bench_scale["iterations"],
+        seed=41,
+        dtype=dtype,
+    ))
+    return RouteNetTrainer(model, TrainerConfig(
+        epochs=epochs, learning_rate=0.003, batch_size=batch_size,
+        dtype=dtype, seed=41))
+
+
+def _throughput(samples, batch_size: int, bench_scale, repetitions: int = 2,
+                dtype=None) -> float:
     """Train fresh models and return the best trained-samples-per-second.
 
     Taking the best of a couple of repetitions damps scheduler noise on
@@ -45,20 +67,22 @@ def _throughput(samples, batch_size: int, bench_scale, repetitions: int = 2) -> 
     """
     best = 0.0
     for _ in range(repetitions):
-        model = ExtendedRouteNet(RouteNetConfig(
-            link_state_dim=bench_scale["state_dim"],
-            path_state_dim=bench_scale["state_dim"],
-            node_state_dim=bench_scale["state_dim"],
-            message_passing_iterations=bench_scale["iterations"],
-            seed=41,
-        ))
-        trainer = RouteNetTrainer(model, TrainerConfig(
-            epochs=EPOCHS, learning_rate=0.003, batch_size=batch_size, seed=41))
+        trainer = _make_trainer(bench_scale, batch_size, dtype=dtype)
         start = time.perf_counter()
         trainer.fit(samples)
         elapsed = time.perf_counter() - start
         best = max(best, EPOCHS * len(samples) / elapsed)
     return best
+
+
+def _peak_memory(samples, batch_size: int, bench_scale, dtype=None) -> int:
+    """tracemalloc peak (bytes) of a one-epoch training run."""
+    trainer = _make_trainer(bench_scale, batch_size, dtype=dtype, epochs=1)
+    tracemalloc.start()
+    trainer.fit(samples)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
 
 
 def test_batched_training_throughput(training_samples, bench_scale):
@@ -75,6 +99,109 @@ def test_batched_training_throughput(training_samples, bench_scale):
     # The acceptance bar: a full batch must train strictly faster per sample
     # than one-scenario-per-step training.
     assert throughput[16] > throughput[1]
+
+
+def test_peak_memory_by_batch_size_and_dtype(training_samples, bench_scale):
+    """Record tracemalloc peaks at batch sizes 1/4/16/32 in both precisions.
+
+    The float32 stack must deliver at least a 30% lower peak than the
+    float64 (PR 1) path at batch_size 16 — the memory-bound large-merged-
+    graph regime the ROADMAP flagged after the batching PR.
+    """
+    peaks = {dtype: {batch_size: _peak_memory(training_samples, batch_size,
+                                              bench_scale, dtype=dtype)
+                     for batch_size in MEMORY_BATCH_SIZES}
+             for dtype in DTYPES}
+
+    print("\npeak training memory (tracemalloc, one epoch)")
+    for batch_size in MEMORY_BATCH_SIZES:
+        peak64 = peaks["float64"][batch_size]
+        peak32 = peaks["float32"][batch_size]
+        print(f"  batch_size={batch_size:2d} : float64 {peak64 / 1e6:8.2f} MB   "
+              f"float32 {peak32 / 1e6:8.2f} MB   ({peak32 / peak64:4.2f}x)")
+
+    assert peaks["float32"][16] <= 0.7 * peaks["float64"][16]
+
+
+def test_float32_meets_speed_or_memory_bar(training_samples, bench_scale):
+    """Acceptance criterion: at batch_size 16, float32 must beat the float64
+    path by ≥1.3x samples/sec or ≥30% lower peak memory (it reliably halves
+    the arrays, so the memory arm is the stable one on shared runners)."""
+    speed64 = _throughput(training_samples, 16, bench_scale, repetitions=1,
+                          dtype="float64")
+    speed32 = _throughput(training_samples, 16, bench_scale, repetitions=1,
+                          dtype="float32")
+    peak64 = _peak_memory(training_samples, 16, bench_scale, dtype="float64")
+    peak32 = _peak_memory(training_samples, 16, bench_scale, dtype="float32")
+    speedup = speed32 / speed64
+    memory_ratio = peak32 / peak64
+    print(f"\nfloat32 vs float64 at batch_size=16: "
+          f"{speedup:.2f}x samples/sec, {memory_ratio:.2f}x peak memory")
+    assert speedup >= 1.3 or memory_ratio <= 0.7
+
+
+def test_fused_backward_allocates_less_than_seed_ops():
+    """The fused masked-update / gather-segment-sum nodes must beat their
+    unfused (seed) formulations on allocation: lower forward+backward peak
+    and pooled (reused) scratch buffers instead of per-step temporaries."""
+    from repro.nn.tensor import (
+        Tensor,
+        gather_segment_sum,
+        grad_buffer_pool_stats,
+        masked_where,
+        reset_grad_buffer_pool_stats,
+        segment_sum,
+        stack,
+        where,
+    )
+
+    rng = np.random.default_rng(0)
+    batch, steps, dim, iterations = 320, 10, 16, 3
+    entry_rows, entry_cols = np.nonzero(rng.random((batch, steps)) > 0.25)
+    segment_ids = rng.integers(0, batch, size=entry_rows.size)
+    sequence_mask = rng.random((batch, steps)) > 0.3
+
+    def run(fused: bool) -> int:
+        """Peak bytes of forward+backward through a model-shaped graph:
+        a masked scan followed by a gather+segment-sum, iterated."""
+        weight = Tensor(rng.normal(size=(dim, dim)) * 0.1, requires_grad=True)
+        state = Tensor(rng.normal(size=(batch, dim)), requires_grad=True)
+        tracemalloc.start()
+        current = state
+        for _ in range(iterations):
+            outputs = []
+            for step in range(steps):
+                new_state = (current @ weight).tanh()
+                if fused:
+                    current = masked_where(sequence_mask[:, step], new_state, current)
+                else:
+                    current = where(sequence_mask[:, step].reshape(batch, 1),
+                                    new_state, current)
+                outputs.append(current)
+            stacked = stack(outputs, axis=1)
+            if fused:
+                aggregated = gather_segment_sum(
+                    stacked, (entry_rows, entry_cols), segment_ids, batch)
+            else:
+                aggregated = segment_sum(
+                    stacked[(entry_rows, entry_cols)], segment_ids, batch)
+            current = aggregated.tanh()
+        (current ** 2).sum().backward()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    seed_peak = run(fused=False)
+    reset_grad_buffer_pool_stats()
+    fused_peak = run(fused=True)
+    pool = grad_buffer_pool_stats()
+    print(f"\nforward+backward peak: seed ops {seed_peak / 1e6:.2f} MB, "
+          f"fused ops {fused_peak / 1e6:.2f} MB "
+          f"(pool: {pool['hits']} reuses, {pool['misses']} allocations)")
+    assert fused_peak < seed_peak
+    # The pool must actually recycle buffers across steps: many reuses per
+    # fresh allocation.
+    assert pool["hits"] >= 5 * max(pool["misses"], 1)
 
 
 def test_batched_step_equivalent_loss_scale(training_samples, bench_scale):

@@ -41,11 +41,17 @@ def main() -> None:
     # 2. Train the Extended RouteNet (the paper's model with a node entity).
     #    batch_size=4 merges four scenarios into each optimisation step,
     #    which amortises the per-step overhead (see repro.datasets.batching).
+    #    dtype="float32" runs the whole autograd stack in single precision —
+    #    about half the training memory and noticeably faster on large merged
+    #    batches, with predictions matching float64 to ~4 decimals (drop the
+    #    argument, or pass "float64", for full precision; the repro-net CLI
+    #    exposes the same switch as --dtype).
     model = ExtendedRouteNet(RouteNetConfig(
         link_state_dim=16, path_state_dim=16, node_state_dim=16,
-        message_passing_iterations=4, seed=1))
+        message_passing_iterations=4, seed=1, dtype="float32"))
     trainer = RouteNetTrainer(model, TrainerConfig(epochs=10, learning_rate=0.003,
-                                                   batch_size=4, seed=1, log_every=1))
+                                                   batch_size=4, dtype="float32",
+                                                   seed=1, log_every=1))
     trainer.fit(train, val_samples=val)
 
     # 3. Evaluate on unseen scenarios.

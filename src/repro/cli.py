@@ -24,7 +24,7 @@ from repro.models.config import RouteNetConfig
 from repro.models.extended import ExtendedRouteNet
 from repro.models.routenet import RouteNet
 from repro.models.trainer import RouteNetTrainer, TrainerConfig, evaluate_model
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata, save_checkpoint
 from repro.pipeline import run_fig2_experiment
 from repro.topology.geant2 import geant2_topology
 from repro.topology.generators import random_topology
@@ -68,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--learning-rate", type=float, default=0.001)
     train.add_argument("--batch-size", type=int, default=1,
                        help="scenarios merged into one optimisation step")
+    train.add_argument("--dtype", choices=["float32", "float64"], default=None,
+                       help="training precision: float32 roughly halves the "
+                            "memory footprint of large-batch training "
+                            "(default: float64)")
     train.add_argument("--state-dim", type=int, default=16)
     train.add_argument("--iterations", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
@@ -79,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--weights", required=True)
     evaluate.add_argument("--state-dim", type=int, default=16)
     evaluate.add_argument("--iterations", type=int, default=4)
+    evaluate.add_argument("--dtype", choices=["float32", "float64"], default=None,
+                          help="inference precision (default: the dtype recorded "
+                               "in the checkpoint metadata, float64 if absent)")
 
     fig2 = subparsers.add_parser("fig2", help="run the Fig. 2 experiment end to end")
     fig2.add_argument("--train-samples", type=int, default=40)
@@ -86,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--epochs", type=int, default=10)
     fig2.add_argument("--batch-size", type=int, default=1,
                       help="scenarios merged into one optimisation step")
+    fig2.add_argument("--dtype", choices=["float32", "float64"], default=None,
+                      help="training/evaluation precision (default: float64)")
     fig2.add_argument("--state-dim", type=int, default=16)
     fig2.add_argument("--seed", type=int, default=0)
 
@@ -112,21 +121,24 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0):
+def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0,
+                 dtype: Optional[str] = None):
     config = RouteNetConfig(link_state_dim=state_dim, path_state_dim=state_dim,
                             node_state_dim=state_dim,
-                            message_passing_iterations=iterations, seed=seed)
+                            message_passing_iterations=iterations, seed=seed,
+                            dtype=dtype)
     return _MODELS[name](config)
 
 
 def _command_train(args: argparse.Namespace) -> int:
     samples, normalizer, _ = load_dataset(args.dataset)
     train_samples, val_samples, _ = train_val_test_split(samples, 0.8, 0.1, seed=args.seed)
-    model = _build_model(args.model, args.state_dim, args.iterations, args.seed)
+    model = _build_model(args.model, args.state_dim, args.iterations, args.seed,
+                         dtype=args.dtype)
     trainer = RouteNetTrainer(
         model,
         TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate,
-                      batch_size=args.batch_size, seed=args.seed),
+                      batch_size=args.batch_size, dtype=args.dtype, seed=args.seed),
         normalizer=normalizer,
     )
     history = trainer.fit(train_samples, val_samples=val_samples or None)
@@ -137,6 +149,7 @@ def _command_train(args: argparse.Namespace) -> int:
         "normalizer": trainer.normalizer.to_dict(),
         "state_dim": args.state_dim,
         "iterations": args.iterations,
+        "dtype": str(model.dtype),
     }
     path = save_checkpoint(model, args.output, metadata=metadata)
     print(f"trained {args.model} model for {len(history.epochs)} epochs "
@@ -146,13 +159,15 @@ def _command_train(args: argparse.Namespace) -> int:
 
 def _command_evaluate(args: argparse.Namespace) -> int:
     samples, normalizer, _ = load_dataset(args.dataset)
-    model = _build_model(args.model, args.state_dim, args.iterations)
+    # Default the precision to whatever the checkpoint was trained at.
+    dtype = args.dtype or read_checkpoint_metadata(args.weights).get("dtype")
+    model = _build_model(args.model, args.state_dim, args.iterations, dtype=dtype)
     metadata = load_checkpoint(model, args.weights)
     if normalizer is None and "normalizer" in metadata:
         normalizer = FeatureNormalizer.from_dict(metadata["normalizer"])
     if normalizer is None:
         raise SystemExit("no normalizer available: regenerate the dataset or retrain")
-    metrics = evaluate_model(model, samples, normalizer)
+    metrics = evaluate_model(model, samples, normalizer, dtype=dtype)
     print(f"model={args.model} paths={metrics['num_paths']}")
     print(f"mean relative error   : {metrics['mean_relative_error']:.4f}")
     print(f"median relative error : {metrics['median_relative_error']:.4f}")
@@ -169,6 +184,7 @@ def _command_fig2(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         batch_size=args.batch_size,
         state_dim=args.state_dim,
+        dtype=args.dtype,
         seed=args.seed,
     )
     print(result.report())

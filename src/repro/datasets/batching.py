@@ -64,7 +64,10 @@ def merge_tensorized_samples(samples: Sequence[TensorizedSample]) -> TensorizedS
 
     link_sequences = np.zeros((total_paths, max_len), dtype=np.int64)
     node_sequences = np.zeros((total_paths, max_len), dtype=np.int64)
-    mask = np.zeros((total_paths, max_len), dtype=np.float64)
+    # The mask keeps the tensorised precision (feature arrays preserve
+    # theirs through np.concatenate above).
+    mask = np.zeros((total_paths, max_len),
+                    dtype=np.result_type(*[s.sequence_mask.dtype for s in samples]))
     pair_order = []
 
     path_offset = 0

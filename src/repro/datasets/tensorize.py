@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.sample import Sample
+from repro.nn.tensor import DTypeLike, resolve_dtype
 
 __all__ = ["TensorizedSample", "tensorize_sample"]
 
@@ -152,7 +153,7 @@ class TensorizedSample:
 
 
 def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = None,
-                     target: str = "delay") -> TensorizedSample:
+                     target: str = "delay", dtype: DTypeLike = None) -> TensorizedSample:
     """Build the dense arrays for one sample.
 
     When ``normalizer`` is ``None`` the raw physical values are used
@@ -160,9 +161,16 @@ def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = N
 
     ``target`` selects the regression target: ``"delay"`` (default),
     ``"jitter"`` or ``"loss"`` — the sample must carry the requested metric.
+
+    ``dtype`` selects the floating precision of the model-facing arrays
+    (features, mask and normalised targets); ``None`` uses the
+    :func:`repro.nn.tensor.get_default_dtype` default.  The raw
+    (denormalised) measurement arrays always stay float64 so evaluation
+    metrics are not quantised by a float32 training run.
     """
     if target not in ("delay", "jitter", "loss"):
         raise ValueError(f"unknown target '{target}'")
+    dtype = resolve_dtype(dtype)
     topology = sample.topology
     routing = sample.routing
     pair_order = sample.pair_order
@@ -191,7 +199,7 @@ def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = N
 
     link_sequences = np.zeros((num_paths, max_len), dtype=np.int64)
     node_sequences = np.zeros((num_paths, max_len), dtype=np.int64)
-    mask = np.zeros((num_paths, max_len), dtype=np.float64)
+    mask = np.zeros((num_paths, max_len), dtype=dtype)
     for row, (links, nodes) in enumerate(zip(link_paths, node_paths)):
         length = len(links)
         link_sequences[row, :length] = links
@@ -210,6 +218,10 @@ def tensorize_sample(sample: Sample, normalizer: Optional[FeatureNormalizer] = N
         node_features = queue_sizes[:, None]
         path_features = traffic[:, None]
         targets = raw_targets.copy()
+    link_features = link_features.astype(dtype, copy=False)
+    node_features = node_features.astype(dtype, copy=False)
+    path_features = path_features.astype(dtype, copy=False)
+    targets = targets.astype(dtype, copy=False)
 
     tensorized = TensorizedSample(
         link_features=link_features,

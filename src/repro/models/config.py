@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Optional, Sequence
+
+from repro.nn.tensor import resolve_dtype
 
 __all__ = ["RouteNetConfig"]
 
@@ -29,6 +31,11 @@ class RouteNetConfig:
         delays can still take any positive value after denormalisation;
         set to False to allow unconstrained outputs (the default, since the
         regression targets are z-scored).
+    dtype:
+        Floating precision of parameters and hidden states: ``"float32"``,
+        ``"float64"`` or ``None`` (use the process default, see
+        :func:`repro.nn.tensor.set_default_dtype`).  float32 halves the
+        memory footprint of the backward pass on large merged batches.
     seed:
         Seed for weight initialisation.
     """
@@ -40,6 +47,7 @@ class RouteNetConfig:
     readout_hidden_sizes: Sequence[int] = (32, 16)
     readout_activation: str = "relu"
     output_positive: bool = False
+    dtype: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -49,3 +57,4 @@ class RouteNetConfig:
             raise ValueError("message_passing_iterations must be at least 1")
         if any(h < 1 for h in self.readout_hidden_sizes):
             raise ValueError("readout hidden sizes must be positive")
+        resolve_dtype(self.dtype)  # raises on anything but float32/float64/None

@@ -36,7 +36,7 @@ from repro.models.readout import ReadoutMLP
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.recurrent import GRUCell, run_rnn_over_sequence
-from repro.nn.tensor import Tensor, segment_sum
+from repro.nn.tensor import Tensor, default_dtype, gather_segment_sum, resolve_dtype
 
 __all__ = ["ExtendedRouteNet"]
 
@@ -55,33 +55,39 @@ class ExtendedRouteNet(Module):
         #: node states — the ablation used to show the accuracy gain comes
         #: from the node feature itself, not merely from extra parameters.
         self.use_node_features = use_node_features
+        #: Resolved floating precision of parameters and hidden states.
+        self.dtype = resolve_dtype(self.config.dtype)
         rng = np.random.default_rng(self.config.seed)
 
         element_dim = self.config.link_state_dim
-        # RNN_P reads the interleaved node/link sequence.
-        self.path_update = GRUCell(element_dim, self.config.path_state_dim, rng=rng)
-        # RNN_L updates link states from aggregated path messages.
-        self.link_update = GRUCell(self.config.path_state_dim,
-                                   self.config.link_state_dim, rng=rng)
-        # RNN_N updates node states from the summed states of crossing paths.
-        self.node_update = GRUCell(self.config.path_state_dim,
-                                   self.config.node_state_dim, rng=rng)
-        self.readout = ReadoutMLP(self.config.path_state_dim,
-                                  hidden_sizes=self.config.readout_hidden_sizes,
-                                  activation=self.config.readout_activation,
-                                  output_positive=self.config.output_positive,
-                                  rng=rng)
+        with default_dtype(self.dtype):
+            # RNN_P reads the interleaved node/link sequence.
+            self.path_update = GRUCell(element_dim, self.config.path_state_dim, rng=rng)
+            # RNN_L updates link states from aggregated path messages.
+            self.link_update = GRUCell(self.config.path_state_dim,
+                                       self.config.link_state_dim, rng=rng)
+            # RNN_N updates node states from the summed states of crossing paths.
+            self.node_update = GRUCell(self.config.path_state_dim,
+                                       self.config.node_state_dim, rng=rng)
+            self.readout = ReadoutMLP(self.config.path_state_dim,
+                                      hidden_sizes=self.config.readout_hidden_sizes,
+                                      activation=self.config.readout_activation,
+                                      output_positive=self.config.output_positive,
+                                      rng=rng)
 
     # ------------------------------------------------------------------ #
     def forward(self, sample: TensorizedSample) -> Tensor:
         """Predict (normalised) per-path delays for one sample."""
         index = build_index(sample)
-        link_states = initial_state(sample.link_features, self.config.link_state_dim)
+        link_states = initial_state(sample.link_features, self.config.link_state_dim,
+                                    dtype=self.dtype)
         node_features = sample.node_features
         if not self.use_node_features:
             node_features = np.zeros_like(node_features)
-        node_states = initial_state(node_features, self.config.node_state_dim)
-        path_states = initial_state(sample.path_features, self.config.path_state_dim)
+        node_states = initial_state(node_features, self.config.node_state_dim,
+                                    dtype=self.dtype)
+        path_states = initial_state(sample.path_features, self.config.path_state_dim,
+                                    dtype=self.dtype)
 
         for _ in range(self.config.message_passing_iterations):
             path_states, link_states, node_states = self._message_passing_step(
@@ -105,9 +111,12 @@ class ExtendedRouteNet(Module):
 
         # Link update: the message to a link is the RNN output right after
         # reading that link (odd positions of the interleaved sequence).
+        # Fused gather + segment-sum keeps the (num_entries, dim) selection
+        # out of the autograd graph.
         link_positions = index.entry_positions * 2 + 1
-        link_messages = segment_sum(
-            outputs[(index.entry_path_ids, link_positions)],
+        link_messages = gather_segment_sum(
+            outputs,
+            (index.entry_path_ids, link_positions),
             index.entry_link_ids,
             index.num_links,
         )

@@ -21,8 +21,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.datasets.tensorize import TensorizedSample
-from repro.nn import functional as F
-from repro.nn.tensor import Tensor, segment_sum
+from repro.nn.tensor import DTypeLike, Tensor, gather_segment_sum, resolve_dtype
 
 __all__ = ["MessagePassingIndex", "build_index", "initial_state", "aggregate_positional_messages",
            "aggregate_path_states_per_node"]
@@ -70,21 +69,24 @@ def build_index(sample: TensorizedSample) -> MessagePassingIndex:
     return index
 
 
-def initial_state(features: np.ndarray, state_dim: int) -> Tensor:
+def initial_state(features: np.ndarray, state_dim: int, dtype: DTypeLike = None) -> Tensor:
     """Embed raw features into a fixed-size state by zero padding.
 
     This mirrors the reference implementation: the first feature columns of
     each state carry the known attributes (capacity, queue size, traffic) and
     the remaining dimensions start at zero for the message passing to fill.
+    ``dtype`` pins the state precision (models pass their configured dtype so
+    float64 features entering a float32 model are cast on the way in).
     """
-    features = np.asarray(features, dtype=np.float64)
+    dtype = resolve_dtype(dtype)
+    features = np.asarray(features, dtype=dtype)
     if features.ndim != 2:
         raise ValueError("features must be 2-D (entities, feature_dim)")
     num_entities, feature_dim = features.shape
     if feature_dim > state_dim:
         raise ValueError(
             f"feature dimension {feature_dim} exceeds the state size {state_dim}")
-    state = np.zeros((num_entities, state_dim), dtype=np.float64)
+    state = np.zeros((num_entities, state_dim), dtype=dtype)
     state[:, :feature_dim] = features
     return Tensor(state)
 
@@ -106,8 +108,14 @@ def aggregate_positional_messages(path_rnn_outputs: Tensor, index: MessagePassin
         num_segments = index.num_nodes
     else:
         raise ValueError("target must be 'link' or 'node'")
-    selected = path_rnn_outputs[(index.entry_path_ids, index.entry_positions)]
-    return segment_sum(selected, segment_ids, num_segments)
+    # Fused gather + segment-sum: one autograd node, no intermediate
+    # (num_entries, dim) tensor (or gradient buffer) in the graph.
+    return gather_segment_sum(
+        path_rnn_outputs,
+        (index.entry_path_ids, index.entry_positions),
+        segment_ids,
+        num_segments,
+    )
 
 
 def aggregate_path_states_per_node(path_states: Tensor, index: MessagePassingIndex) -> Tensor:
@@ -120,5 +128,5 @@ def aggregate_path_states_per_node(path_states: Tensor, index: MessagePassingInd
     """
     # A path may cross a node once at most (paths are simple), so summing over
     # hop entries is the same as summing over distinct (path, node) pairs.
-    gathered = path_states.gather(index.entry_path_ids)
-    return segment_sum(gathered, index.entry_node_ids, index.num_nodes)
+    return gather_segment_sum(
+        path_states, index.entry_path_ids, index.entry_node_ids, index.num_nodes)

@@ -34,7 +34,7 @@ from repro.models.readout import ReadoutMLP
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.recurrent import GRUCell, run_rnn_over_sequence
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, default_dtype, resolve_dtype
 
 __all__ = ["RouteNet"]
 
@@ -45,25 +45,30 @@ class RouteNet(Module):
     def __init__(self, config: Optional[RouteNetConfig] = None) -> None:
         super().__init__()
         self.config = config if config is not None else RouteNetConfig()
+        #: Resolved floating precision of parameters and hidden states.
+        self.dtype = resolve_dtype(self.config.dtype)
         rng = np.random.default_rng(self.config.seed)
-        # RNN_P: reads link states along the path, carrying the path state.
-        self.path_update = GRUCell(self.config.link_state_dim,
-                                   self.config.path_state_dim, rng=rng)
-        # RNN_L: updates a link state from the aggregated path messages.
-        self.link_update = GRUCell(self.config.path_state_dim,
-                                   self.config.link_state_dim, rng=rng)
-        self.readout = ReadoutMLP(self.config.path_state_dim,
-                                  hidden_sizes=self.config.readout_hidden_sizes,
-                                  activation=self.config.readout_activation,
-                                  output_positive=self.config.output_positive,
-                                  rng=rng)
+        with default_dtype(self.dtype):
+            # RNN_P: reads link states along the path, carrying the path state.
+            self.path_update = GRUCell(self.config.link_state_dim,
+                                       self.config.path_state_dim, rng=rng)
+            # RNN_L: updates a link state from the aggregated path messages.
+            self.link_update = GRUCell(self.config.path_state_dim,
+                                       self.config.link_state_dim, rng=rng)
+            self.readout = ReadoutMLP(self.config.path_state_dim,
+                                      hidden_sizes=self.config.readout_hidden_sizes,
+                                      activation=self.config.readout_activation,
+                                      output_positive=self.config.output_positive,
+                                      rng=rng)
 
     # ------------------------------------------------------------------ #
     def forward(self, sample: TensorizedSample) -> Tensor:
         """Predict (normalised) per-path delays for one sample."""
         index = build_index(sample)
-        link_states = initial_state(sample.link_features, self.config.link_state_dim)
-        path_states = initial_state(sample.path_features, self.config.path_state_dim)
+        link_states = initial_state(sample.link_features, self.config.link_state_dim,
+                                    dtype=self.dtype)
+        path_states = initial_state(sample.path_features, self.config.path_state_dim,
+                                    dtype=self.dtype)
 
         for _ in range(self.config.message_passing_iterations):
             path_states, link_states = self._message_passing_step(

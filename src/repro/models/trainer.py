@@ -16,7 +16,7 @@ from repro.nn import metrics as nn_metrics
 from repro.nn.losses import huber_loss, mse_loss
 from repro.nn.module import Module
 from repro.nn.optimizers import Adam, clip_gradients_by_norm
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import DTypeLike, Tensor, no_grad, resolve_dtype
 from repro.nn.training import EarlyStopping, History
 
 __all__ = ["TrainerConfig", "RouteNetTrainer", "evaluate_model"]
@@ -28,6 +28,12 @@ class TrainerConfig:
 
     ``target`` selects which per-path metric the model regresses:
     ``"delay"`` (the paper's Fig. 2 experiment), ``"jitter"`` or ``"loss"``.
+
+    ``dtype`` selects the floating precision the samples are tensorised at
+    ("float32", "float64" or ``None`` for the process default).  It should
+    match the model's :attr:`~repro.models.config.RouteNetConfig.dtype`;
+    float32 roughly halves the memory traffic of backward on large merged
+    batches.
 
     ``batch_size`` controls mini-batching: each optimisation step merges that
     many scenarios into one disjoint-union graph (see
@@ -48,6 +54,7 @@ class TrainerConfig:
     gradient_clip_norm: float = 1.0
     shuffle: bool = True
     batch_size: int = 1
+    dtype: Optional[str] = None
     early_stopping_patience: Optional[int] = None
     seed: int = 0
     log_every: int = 0
@@ -63,6 +70,7 @@ class TrainerConfig:
             raise ValueError("loss must be 'mse' or 'huber'")
         if self.target not in ("delay", "jitter", "loss"):
             raise ValueError("target must be 'delay', 'jitter' or 'loss'")
+        resolve_dtype(self.dtype)  # raises on anything but float32/float64/None
 
 
 class RouteNetTrainer:
@@ -83,16 +91,24 @@ class RouteNetTrainer:
 
     # ------------------------------------------------------------------ #
     def _loss(self, predictions: Tensor, targets: np.ndarray) -> Tensor:
-        target_tensor = Tensor(targets)
+        # Targets join the graph at the predictions' precision so a float32
+        # model is not silently promoted back to float64 by the loss.
+        target_tensor = Tensor(np.asarray(targets, dtype=predictions.data.dtype))
         if self.config.loss == "huber":
             return huber_loss(predictions, target_tensor)
         return mse_loss(predictions, target_tensor)
 
     def prepare(self, samples: Sequence[Sample]) -> List[TensorizedSample]:
-        """Tensorise samples with the trainer's normaliser (fitting it if needed)."""
+        """Tensorise samples with the trainer's normaliser (fitting it if needed).
+
+        Tensorisations are memoised on the normaliser, so repeated calls
+        over the same samples (``fit`` invoked twice, validation sets,
+        post-training evaluation) reuse the cached arrays.
+        """
         if self.normalizer is None:
             self.normalizer = FeatureNormalizer().fit(samples)
-        return [tensorize_sample(sample, self.normalizer, target=self.config.target)
+        return [self.normalizer.tensorize(sample, target=self.config.target,
+                                          dtype=self.config.dtype)
                 for sample in samples]
 
     # ------------------------------------------------------------------ #
@@ -147,9 +163,7 @@ class RouteNetTrainer:
             val_samples: Optional[Sequence[Sample]] = None) -> History:
         """Train for ``config.epochs`` epochs and return the loss history."""
         train_items = self.prepare(train_samples)
-        val_items = ([tensorize_sample(s, self.normalizer, target=self.config.target)
-                      for s in val_samples]
-                     if val_samples else None)
+        val_items = self.prepare(val_samples) if val_samples else None
         if val_items and self.config.batch_size > 1:
             # Merge validation scenarios once; the weighted evaluate_loss
             # makes the batched value identical to the per-sample one.
@@ -187,7 +201,11 @@ class RouteNetTrainer:
         """Predict the trainer's target metric (denormalised) for one sample."""
         if self.normalizer is None:
             raise RuntimeError("trainer has no normalizer; call fit() or prepare() first")
-        tensorized = tensorize_sample(sample, self.normalizer, target=self.config.target)
+        # Deliberately not memoised: prediction is the streaming path (one
+        # fresh sample per call), where caching would only accumulate
+        # tensorisations that are never revisited.
+        tensorized = tensorize_sample(sample, self.normalizer, target=self.config.target,
+                                      dtype=self.config.dtype)
         normalised = self.model.predict(tensorized)
         return self.normalizer.denormalize(self.config.target, normalised)
 
@@ -203,19 +221,25 @@ class RouteNetTrainer:
 
 
 def evaluate_model(model: Module, samples: Sequence[Sample],
-                   normalizer: FeatureNormalizer, target: str = "delay") -> Dict[str, object]:
+                   normalizer: FeatureNormalizer, target: str = "delay",
+                   dtype: DTypeLike = None) -> Dict[str, object]:
     """Evaluate a trained model on samples, reporting paper-style metrics.
 
     Returns a dictionary with the concatenated per-path relative errors
     (``relative_errors``), their mean/median, MAPE, RMSE and Pearson
     correlation on the denormalised values of ``target`` (delay by default).
+
+    Tensorisations are reused from the normaliser's memo cache when the
+    same samples were already tensorised (by a trainer or a previous
+    evaluation at the same ``target``/``dtype``); metric arithmetic is
+    always float64 regardless of the model precision.
     """
     if not samples:
         raise ValueError("evaluation needs at least one sample")
     all_predictions: List[np.ndarray] = []
     all_targets: List[np.ndarray] = []
     for sample in samples:
-        tensorized = tensorize_sample(sample, normalizer, target=target)
+        tensorized = normalizer.tensorize(sample, target=target, dtype=dtype)
         normalised = model.predict(tensorized)
         all_predictions.append(normalizer.denormalize(target, normalised))
         all_targets.append(tensorized.raw_targets)

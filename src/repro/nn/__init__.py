@@ -18,7 +18,20 @@ model code in :mod:`repro.models` reads like the reference TensorFlow
 implementation of RouteNet.
 """
 
-from repro.nn.tensor import Tensor, no_grad, tensor, zeros, ones, randn
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    gather_segment_sum,
+    get_default_dtype,
+    masked_where,
+    no_grad,
+    ones,
+    randn,
+    resolve_dtype,
+    set_default_dtype,
+    tensor,
+    zeros,
+)
 from repro.nn import functional
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Dense, Dropout, Embedding, LayerNorm, Sequential

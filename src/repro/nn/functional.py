@@ -15,6 +15,9 @@ from repro.nn.tensor import (
     Tensor,
     as_tensor,
     concat,
+    gather_segment_sum,
+    get_default_dtype,
+    masked_where,
     segment_mean,
     segment_sum,
     stack,
@@ -25,8 +28,10 @@ __all__ = [
     "concat",
     "stack",
     "where",
+    "masked_where",
     "segment_sum",
     "segment_mean",
+    "gather_segment_sum",
     "gather",
     "relu",
     "sigmoid",
@@ -141,6 +146,6 @@ def one_hot(indices: Sequence[int], depth: int) -> Tensor:
     indices = np.asarray(indices, dtype=np.int64)
     if indices.size and (indices.min() < 0 or indices.max() >= depth):
         raise ValueError("index out of range for one-hot encoding")
-    out = np.zeros((indices.shape[0], depth), dtype=np.float64)
+    out = np.zeros((indices.shape[0], depth), dtype=get_default_dtype())
     out[np.arange(indices.shape[0]), indices] = 1.0
     return Tensor(out)

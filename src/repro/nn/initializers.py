@@ -6,6 +6,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.tensor import DTypeLike, resolve_dtype
+
 __all__ = [
     "glorot_uniform",
     "glorot_normal",
@@ -31,36 +33,51 @@ def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
     return rng if rng is not None else np.random.default_rng()
 
 
-def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def _cast(values: np.ndarray, dtype: DTypeLike) -> np.ndarray:
+    """Cast sampled values to the requested (or default) dtype, C-contiguous.
+
+    Slicing tricks (e.g. the transpose in :func:`orthogonal`) can leave
+    F-ordered arrays behind; parameters are stored C-contiguous so matmuls
+    and flat views behave predictably.
+    """
+    return np.ascontiguousarray(values, dtype=resolve_dtype(dtype))
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                   dtype: DTypeLike = None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation (good default for tanh/sigmoid nets)."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _cast(_rng(rng).uniform(-limit, limit, size=shape), dtype)
 
 
-def glorot_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def glorot_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                  dtype: DTypeLike = None) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _cast(_rng(rng).normal(0.0, std, size=shape), dtype)
 
 
-def he_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def he_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+               dtype: DTypeLike = None) -> np.ndarray:
     """He uniform initialisation (good default for ReLU nets)."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _cast(_rng(rng).uniform(-limit, limit, size=shape), dtype)
 
 
-def he_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def he_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+              dtype: DTypeLike = None) -> np.ndarray:
     """He normal initialisation."""
     fan_in, _ = _fans(shape)
     std = np.sqrt(2.0 / fan_in)
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _cast(_rng(rng).normal(0.0, std, size=shape), dtype)
 
 
 def orthogonal(shape: Tuple[int, ...], gain: float = 1.0,
-               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+               rng: Optional[np.random.Generator] = None,
+               dtype: DTypeLike = None) -> np.ndarray:
     """Orthogonal initialisation (recommended for recurrent weight matrices)."""
     if len(shape) < 2:
         raise ValueError("orthogonal initialisation requires at least 2 dimensions")
@@ -70,26 +87,30 @@ def orthogonal(shape: Tuple[int, ...], gain: float = 1.0,
     q, r = np.linalg.qr(flat)
     q = q * np.sign(np.diag(r))
     q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
-    return gain * q.reshape(shape)
+    return _cast(gain * q.reshape(shape), dtype)
 
 
 def normal_init(shape: Tuple[int, ...], std: float = 0.05,
-                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                rng: Optional[np.random.Generator] = None,
+                dtype: DTypeLike = None) -> np.ndarray:
     """Gaussian initialisation with standard deviation ``std``."""
-    return _rng(rng).normal(0.0, std, size=shape)
+    return _cast(_rng(rng).normal(0.0, std, size=shape), dtype)
 
 
 def uniform_init(shape: Tuple[int, ...], limit: float = 0.05,
-                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                 rng: Optional[np.random.Generator] = None,
+                 dtype: DTypeLike = None) -> np.ndarray:
     """Uniform initialisation in ``[-limit, limit]``."""
-    return _rng(rng).uniform(-limit, limit, size=shape)
+    return _cast(_rng(rng).uniform(-limit, limit, size=shape), dtype)
 
 
-def zeros_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def zeros_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+               dtype: DTypeLike = None) -> np.ndarray:
     """All-zeros initialisation (used for biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def ones_init(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+              dtype: DTypeLike = None) -> np.ndarray:
     """All-ones initialisation (used for normalisation gains)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=resolve_dtype(dtype))

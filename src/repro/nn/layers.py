@@ -7,7 +7,7 @@ from typing import Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.initializers import glorot_uniform, zeros_init
+from repro.nn.initializers import glorot_uniform, ones_init, zeros_init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, as_tensor
 
@@ -142,8 +142,8 @@ class LayerNorm(Module):
         super().__init__()
         self.features = features
         self.epsilon = epsilon
-        self.gain = Parameter(np.ones(features), name="gain")
-        self.bias = Parameter(np.zeros(features), name="bias")
+        self.gain = Parameter(ones_init((features,)), name="gain")
+        self.bias = Parameter(zeros_init((features,)), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)

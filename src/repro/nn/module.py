@@ -12,16 +12,24 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import DTypeLike, Tensor, resolve_dtype
 
 __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as trainable by :class:`Module`."""
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`.
 
-    def __init__(self, data, name: Optional[str] = None) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+    Parameters are always stored in a concrete float precision: ``dtype``
+    when given, otherwise the module-level default (see
+    :func:`repro.nn.tensor.set_default_dtype`) active at construction time —
+    models pin their precision by building parameters inside a
+    :func:`repro.nn.tensor.default_dtype` block.
+    """
+
+    def __init__(self, data, name: Optional[str] = None, dtype: DTypeLike = None) -> None:
+        super().__init__(np.asarray(data, dtype=resolve_dtype(dtype)),
+                         requires_grad=True, name=name)
 
 
 class Module:
@@ -94,7 +102,10 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            # Checkpoints may have been written at either precision; loading
+            # casts to the parameter's own dtype so the model keeps the
+            # precision it was constructed with.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"

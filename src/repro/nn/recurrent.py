@@ -21,7 +21,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, as_tensor, where
+from repro.nn.tensor import Tensor, as_tensor, get_default_dtype, masked_where
 
 __all__ = ["RNNCellBase", "GRUCell", "LSTMCell", "run_rnn_over_sequence"]
 
@@ -36,9 +36,16 @@ class RNNCellBase(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
 
+    @property
+    def param_dtype(self) -> np.dtype:
+        """The floating dtype of the cell's parameters (states follow it)."""
+        for parameter in self.parameters():
+            return parameter.data.dtype
+        return get_default_dtype()
+
     def initial_state(self, batch_size: int) -> Tensor:
         """Return an all-zeros hidden state for ``batch_size`` sequences."""
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(np.zeros((batch_size, self.hidden_size), dtype=self.param_dtype))
 
     def forward(self, inputs: Tensor, state: Tensor) -> Tensor:  # pragma: no cover - interface
         raise NotImplementedError
@@ -99,7 +106,7 @@ class LSTMCell(RNNCellBase):
         self.bias = Parameter(zeros_init((4 * hidden_size,)), name="bias")
 
     def initial_state(self, batch_size: int) -> Tensor:
-        return Tensor(np.zeros((batch_size, 2 * self.hidden_size)))
+        return Tensor(np.zeros((batch_size, 2 * self.hidden_size), dtype=self.param_dtype))
 
     @staticmethod
     def split_state(state: Tensor) -> Tuple[Tensor, Tensor]:
@@ -159,7 +166,7 @@ def run_rnn_over_sequence(
     if sequence.ndim != 3:
         raise ValueError("sequence must have shape (batch, max_len, input_size)")
     batch, max_len, _ = sequence.shape
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask)
     if mask.shape != (batch, max_len):
         raise ValueError(f"mask shape {mask.shape} does not match sequence {(batch, max_len)}")
 
@@ -174,7 +181,9 @@ def run_rnn_over_sequence(
             # No padding at this step: skip the masking select entirely.
             state = new_state
         else:
-            state = where(valid[:, step].reshape(batch, 1), new_state, state)
+            # Fused masked update: one autograd node whose backward splits
+            # the gradient between new and old state in a pooled buffer.
+            state = masked_where(valid[:, step], new_state, state)
         outputs.append(state)
     stacked = F.stack(outputs, axis=1)
     return stacked, state

@@ -10,7 +10,8 @@ import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["save_parameters", "load_parameters", "save_checkpoint", "load_checkpoint"]
+__all__ = ["save_parameters", "load_parameters", "save_checkpoint", "load_checkpoint",
+           "read_checkpoint_metadata"]
 
 
 def save_parameters(module: Module, path: str) -> str:
@@ -50,12 +51,13 @@ def save_checkpoint(module: Module, path: str, metadata: Optional[dict] = None) 
     return written
 
 
-def load_checkpoint(module: Module, path: str, strict: bool = True) -> dict:
-    """Load a checkpoint written by :func:`save_checkpoint`.
+def read_checkpoint_metadata(path: str) -> dict:
+    """Read a checkpoint's JSON metadata sidecar without touching weights.
 
-    Returns the metadata dictionary (empty if no sidecar exists).
+    Useful to recover construction settings (e.g. the training dtype)
+    before building the module the weights will be loaded into.  Returns
+    an empty dictionary if no sidecar exists.
     """
-    load_parameters(module, path, strict=strict)
     if not path.endswith(".npz"):
         path = path + ".npz"
     sidecar = path[: -len(".npz")] + ".json"
@@ -63,3 +65,12 @@ def load_checkpoint(module: Module, path: str, strict: bool = True) -> dict:
         with open(sidecar, "r", encoding="utf-8") as handle:
             return json.load(handle)
     return {}
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> dict:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the metadata dictionary (empty if no sidecar exists).
+    """
+    load_parameters(module, path, strict=strict)
+    return read_checkpoint_metadata(path)

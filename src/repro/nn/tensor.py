@@ -18,8 +18,55 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+DTypeLike = Union[str, type, np.dtype, None]
 
 _GRAD_ENABLED = True
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: DTypeLike = None) -> np.dtype:
+    """Map a dtype spec ("float32", np.float64, None, ...) to a NumPy dtype.
+
+    ``None`` resolves to the current module default (see
+    :func:`set_default_dtype`).  Only float32 and float64 are accepted: the
+    autograd substrate stores states and gradients in one of those two
+    precisions.
+    """
+    if dtype is None:
+        return _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported dtype {dtype!r}: expected float32 or float64")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors take when none is given (float64 unless changed)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype: DTypeLike) -> None:
+    """Set the process-wide default floating dtype for tensor creation."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: DTypeLike):
+    """Context manager that temporarily switches the default dtype::
+
+        with nn.default_dtype("float32"):
+            model = ExtendedRouteNet(config)   # float32 parameters
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
 
 
 @contextlib.contextmanager
@@ -46,10 +93,22 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype: DTypeLike = None) -> np.ndarray:
     if isinstance(value, Tensor):
-        return value.data
-    return np.asarray(value, dtype=dtype)
+        if dtype is None:
+            return value.data
+        # An explicit dtype must win even for Tensor inputs (construction
+        # from a Tensor detaches anyway; use Tensor.astype for a
+        # differentiable cast).
+        return value.data.astype(resolve_dtype(dtype), copy=False)
+    if dtype is None:
+        # Arrays and NumPy scalars (e.g. reduction results) already in a
+        # supported float precision keep it; everything else (lists, Python
+        # scalars, integer arrays) takes the module default.
+        if isinstance(value, (np.ndarray, np.generic)) and value.dtype in _FLOAT_DTYPES:
+            return np.asarray(value)
+        return np.asarray(value, dtype=_DEFAULT_DTYPE)
+    return np.asarray(value, dtype=resolve_dtype(dtype))
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -65,6 +124,68 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+class GradientBufferPool:
+    """Reusable scratch arrays for backward-pass temporaries.
+
+    The masked RNN scan and the gather/segment-sum aggregations need a
+    same-shaped scratch array at every time step of the backward pass.  The
+    pool hands the same buffers back out step after step instead of letting
+    every step allocate (and the allocator free) fresh full-size arrays —
+    the dominant allocation churn of backward on large merged batches.
+
+    The pool is active only while a :meth:`Tensor.backward` call is running
+    and is drained when it returns, so no memory is retained between
+    optimisation steps.  ``hits``/``misses`` count reuses vs fresh
+    allocations across the process (for benchmarks and tests).
+    """
+
+    __slots__ = ("_free", "active", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._free: dict = {}
+        self.active = False
+        self.hits = 0
+        self.misses = 0
+
+    def activate(self) -> None:
+        self.active = True
+
+    def release(self) -> None:
+        self.active = False
+        self._free.clear()
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Return an uninitialised scratch array of the requested shape/dtype."""
+        key = (shape, np.dtype(dtype).str)
+        stack = self._free.get(key)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, buffer: np.ndarray) -> None:
+        """Hand a scratch array back for reuse (no-op when the pool is idle)."""
+        if not self.active:
+            return
+        key = (buffer.shape, buffer.dtype.str)
+        self._free.setdefault(key, []).append(buffer)
+
+
+_GRAD_BUFFER_POOL = GradientBufferPool()
+
+
+def grad_buffer_pool_stats() -> dict:
+    """Cumulative ``{"hits", "misses"}`` of the backward scratch-buffer pool."""
+    return {"hits": _GRAD_BUFFER_POOL.hits, "misses": _GRAD_BUFFER_POOL.misses}
+
+
+def reset_grad_buffer_pool_stats() -> None:
+    """Zero the pool counters (used by benchmarks measuring one backward)."""
+    _GRAD_BUFFER_POOL.hits = 0
+    _GRAD_BUFFER_POOL.misses = 0
 
 
 def _is_basic_index(key) -> bool:
@@ -93,8 +214,9 @@ class Tensor:
         _parents: Sequence["Tensor"] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: Optional[str] = None,
+        dtype: DTypeLike = None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple[Tensor, ...] = tuple(_parents) if self.requires_grad or _parents else ()
@@ -213,17 +335,40 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is None or node.grad is None:
-                continue
-            node._backward(node.grad)
+        # Scratch buffers requested by fused backward nodes are pooled for
+        # the duration of this call and dropped afterwards.
+        pool = _GRAD_BUFFER_POOL
+        owns_pool = not pool.active
+        if owns_pool:
+            pool.activate()
+        try:
+            self._accumulate(grad)
+            for node in reversed(order):
+                if node._backward is None or node.grad is None:
+                    continue
+                node._backward(node.grad)
+        finally:
+            if owns_pool:
+                pool.release()
+
+    def astype(self, dtype: DTypeLike) -> "Tensor":
+        """Differentiable cast; the gradient is cast back to this dtype."""
+        target = resolve_dtype(dtype)
+        if target == self.data.dtype:
+            return self
+        out_data = self.data.astype(target)
+        source = self.data.dtype
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.astype(source))
+
+        return Tensor._make(out_data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = as_tensor(other)
+        other_t = _coerce_like(other, self)
         out_data = self.data + other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -243,13 +388,13 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-_coerce_like(other, self))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return _coerce_like(other, self) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = as_tensor(other)
+        other_t = _coerce_like(other, self)
         out_data = self.data * other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -261,7 +406,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = as_tensor(other)
+        other_t = _coerce_like(other, self)
         out_data = self.data / other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -273,7 +418,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other_t), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) / self
+        return _coerce_like(other, self) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -290,7 +435,7 @@ class Tensor:
 
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix multiplication (2-D by 2-D, or batched via NumPy rules)."""
-        other_t = as_tensor(other)
+        other_t = _coerce_like(other, self)
         out_data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -387,12 +532,10 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable sigmoid.
-        out_data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-self.data)),
-            np.exp(self.data) / (1.0 + np.exp(self.data)),
-        )
+        # Numerically stable sigmoid: only exponentiates non-positive values
+        # (exp(-|x|) ≤ 1), so no overflow at either precision.
+        decay = np.exp(-np.abs(self.data))
+        out_data = np.where(self.data >= 0, 1.0 / (1.0 + decay), decay / (1.0 + decay))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -412,11 +555,8 @@ class Tensor:
         out_data = np.logaddexp(0.0, self.data)
 
         def backward(grad: np.ndarray) -> None:
-            sig = np.where(
-                self.data >= 0,
-                1.0 / (1.0 + np.exp(-self.data)),
-                np.exp(self.data) / (1.0 + np.exp(self.data)),
-            )
+            decay = np.exp(-np.abs(self.data))
+            sig = np.where(self.data >= 0, 1.0 / (1.0 + decay), decay / (1.0 + decay))
             self._accumulate(grad * sig)
 
         return Tensor._make(out_data, (self,), backward)
@@ -549,26 +689,42 @@ def as_tensor(value: ArrayLike) -> Tensor:
     return Tensor(value)
 
 
-def tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+def _coerce_like(value: ArrayLike, reference: Tensor) -> Tensor:
+    """Coerce an operand to a tensor, giving dtype-less values the peer's dtype.
+
+    Python scalars, lists and integer arrays take ``reference``'s dtype so a
+    float32 graph is not silently promoted to float64 by a literal like
+    ``1.0 - gate`` (NumPy treats the wrapped 0-d array as a strong dtype).
+    Arrays that already carry a float32/float64 dtype are respected.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if isinstance(value, np.ndarray) and value.dtype in _FLOAT_DTYPES:
+        return Tensor(value)
+    return Tensor(np.asarray(value, dtype=reference.data.dtype))
+
+
+def tensor(value: ArrayLike, requires_grad: bool = False, dtype: DTypeLike = None) -> Tensor:
     """Create a tensor from array-like data."""
-    return Tensor(value, requires_grad=requires_grad)
+    return Tensor(value, requires_grad=requires_grad, dtype=dtype)
 
 
-def zeros(shape, requires_grad: bool = False) -> Tensor:
+def zeros(shape, requires_grad: bool = False, dtype: DTypeLike = None) -> Tensor:
     """Create a tensor of zeros."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
-def ones(shape, requires_grad: bool = False) -> Tensor:
+def ones(shape, requires_grad: bool = False, dtype: DTypeLike = None) -> Tensor:
     """Create a tensor of ones."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
 def randn(shape, scale: float = 1.0, rng: Optional[np.random.Generator] = None,
-          requires_grad: bool = False) -> Tensor:
+          requires_grad: bool = False, dtype: DTypeLike = None) -> Tensor:
     """Create a tensor of Gaussian noise with standard deviation ``scale``."""
     generator = rng if rng is not None else np.random.default_rng()
-    return Tensor(generator.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+    noise = generator.normal(0.0, scale, size=shape).astype(resolve_dtype(dtype), copy=False)
+    return Tensor(noise, requires_grad=requires_grad)
 
 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -614,6 +770,88 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     return Tensor._make(out_data, (a_t, b_t), backward)
 
 
+def masked_where(row_mask: np.ndarray, new: ArrayLike, old: ArrayLike) -> Tensor:
+    """Fused per-row select: ``out[i] = new[i] if row_mask[i] else old[i]``.
+
+    Semantically identical to ``where(row_mask[:, None], new, old)`` for
+    same-shape operands, but implemented as a single autograd node: the
+    backward pass splits the incoming gradient between ``new`` and ``old``
+    inside one scratch array drawn from the per-backward buffer pool,
+    instead of materialising two fresh full-size temporaries per call.
+    This is the masked state update of the RNN scan, executed once per time
+    step — on long merged sequences the pooled buffer is reused across all
+    steps of the backward sweep.
+    """
+    new_t, old_t = as_tensor(new), as_tensor(old)
+    if new_t.shape != old_t.shape:
+        raise ValueError(
+            f"masked_where requires same-shape operands, got {new_t.shape} and {old_t.shape}")
+    row_mask = np.asarray(row_mask)
+    if row_mask.dtype != np.bool_:
+        row_mask = row_mask > 0
+    if row_mask.shape != (new_t.shape[0],):
+        raise ValueError(
+            f"row_mask must have shape ({new_t.shape[0]},), got {row_mask.shape}")
+    condition = row_mask.reshape((-1,) + (1,) * (new_t.ndim - 1))
+    out_data = np.where(condition, new_t.data, old_t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        # One pooled scratch holds grad*mask, then is rewritten in place to
+        # grad*(1-mask); _accumulate copies/adds it, never retains it.
+        buffer = _GRAD_BUFFER_POOL.take(grad.shape, grad.dtype)
+        if new_t.requires_grad:
+            np.multiply(grad, condition, out=buffer)
+            new_t._accumulate(buffer)
+        if old_t.requires_grad:
+            np.multiply(grad, ~condition, out=buffer)
+            old_t._accumulate(buffer)
+        _GRAD_BUFFER_POOL.give(buffer)
+
+    return Tensor._make(out_data, (new_t, old_t), backward)
+
+
+def gather_segment_sum(data: Tensor, item_index, segment_ids: np.ndarray,
+                       num_segments: int) -> Tensor:
+    """Fused ``segment_sum(data[item_index], segment_ids, num_segments)``.
+
+    The message-passing aggregations first gather one row per (path, hop)
+    entry and then segment-sum the rows per link/node.  Fusing both into a
+    single node removes the intermediate ``(num_entries, dim)`` tensor from
+    the autograd graph (its data *and* its gradient buffer); the backward
+    pass gathers the out-gradient rows into a pooled scratch array and
+    scatters them straight into ``data.grad`` in one pass.
+
+    ``item_index`` is any NumPy index selecting rows of ``data`` — a 1-D
+    integer array or a tuple of such arrays for multi-axis selection.
+    """
+    data_t = as_tensor(data)
+    if isinstance(item_index, tuple):
+        key = tuple(np.asarray(axis_index, dtype=np.int64) for axis_index in item_index)
+    else:
+        key = np.asarray(item_index, dtype=np.int64)
+    selected = data_t.data[key]
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or segment_ids.shape[0] != selected.shape[0]:
+        raise ValueError("segment_ids must be 1-D with one id per selected row")
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    out_data = np.zeros((num_segments,) + selected.shape[1:], dtype=data_t.dtype)
+    np.add.at(out_data, segment_ids, selected)
+
+    def backward(grad: np.ndarray) -> None:
+        if not data_t.requires_grad:
+            return
+        if data_t.grad is None:
+            data_t.grad = np.zeros_like(data_t.data)
+        entry_shape = (segment_ids.shape[0],) + grad.shape[1:]
+        buffer = _GRAD_BUFFER_POOL.take(entry_shape, grad.dtype)
+        np.take(grad, segment_ids, axis=0, out=buffer)
+        np.add.at(data_t.grad, key, buffer)
+        _GRAD_BUFFER_POOL.give(buffer)
+
+    return Tensor._make(out_data, (data_t,), backward)
+
+
 def segment_sum(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``data`` into ``num_segments`` buckets.
 
@@ -640,7 +878,8 @@ def segment_sum(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Ten
 
 def segment_mean(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Average rows of ``data`` per segment (empty segments yield zeros)."""
+    data_t = as_tensor(data)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (as_tensor(data).ndim - 1))
-    return segment_sum(data, segment_ids, num_segments) / counts
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(data_t.dtype)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (data_t.ndim - 1))
+    return segment_sum(data_t, segment_ids, num_segments) / counts

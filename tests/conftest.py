@@ -1,0 +1,33 @@
+"""Shared test configuration: precision selection for the whole suite.
+
+Setting ``REPRO_DTYPE=float32`` (the second tier-1 CI job) switches the
+process-wide default dtype before collection, so every model, trainer and
+tensorisation that does not pin a precision explicitly runs in float32.
+Tests that compare independently-computed float results use
+:func:`tests.support.float_tolerance` so their tolerances track the active
+precision; tests that construct tensors from explicit float64 arrays (e.g.
+the finite-difference checks) are unaffected, because the tensor layer
+preserves explicit float dtypes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+_ENV_DTYPE = os.environ.get("REPRO_DTYPE")
+
+
+def pytest_configure(config):
+    if _ENV_DTYPE:
+        set_default_dtype(_ENV_DTYPE)
+
+
+@pytest.fixture(scope="session")
+def active_dtype() -> np.dtype:
+    """The suite-wide default floating dtype (float64 unless REPRO_DTYPE)."""
+    return np.dtype(get_default_dtype())

@@ -252,6 +252,28 @@ class TestNormalizer:
         np.testing.assert_allclose(rebuilt.normalize("delay", values),
                                    normalizer.normalize("delay", values))
 
+    def test_tensorize_memoised_per_sample_target_dtype(self):
+        samples = self._samples()
+        normalizer = FeatureNormalizer().fit(samples)
+        first = normalizer.tensorize(samples[0])
+        assert normalizer.tensorize(samples[0]) is first
+        assert normalizer.tensorize(samples[1]) is not first
+        # A different precision is a different cache entry (pick the dtype
+        # that is NOT the suite default so this holds under REPRO_DTYPE).
+        other = "float32" if first.targets.dtype == np.float64 else "float64"
+        assert normalizer.tensorize(samples[0], dtype=other) is not first
+        assert normalizer.tensorize(samples[0], dtype=other).targets.dtype == np.dtype(other)
+
+    def test_refit_invalidates_tensorize_cache(self):
+        samples = self._samples()
+        normalizer = FeatureNormalizer().fit(samples[:2])
+        stale = normalizer.tensorize(samples[0])
+        normalizer.fit(samples)  # different statistics
+        fresh = normalizer.tensorize(samples[0])
+        assert fresh is not stale
+        np.testing.assert_allclose(
+            fresh.targets, tensorize_sample(samples[0], normalizer).targets)
+
 
 class TestTensorize:
     def _tensorized(self, topology=None):

@@ -34,6 +34,8 @@ from repro.models.message_passing import build_index
 from repro.nn.tensor import no_grad
 from repro.topology import linear_topology, ring_topology
 
+from tests.support import float_tolerance
+
 SMALL_CONFIG = RouteNetConfig(link_state_dim=6, path_state_dim=6, node_state_dim=6,
                               message_passing_iterations=2, readout_hidden_sizes=(8,),
                               seed=0)
@@ -80,11 +82,11 @@ class TestBatchSingleEquivalence:
                 batched = model(merged).data
                 np.testing.assert_allclose(
                     batched, np.concatenate(separate[start:start + batch_size]),
-                    atol=1e-9)
+                    atol=float_tolerance())
                 # Unmerging the batched predictions recovers per-scenario rows.
                 for chunk, expected in zip(merged.unmerge(batched),
                                            separate[start:start + batch_size]):
-                    np.testing.assert_allclose(chunk, expected, atol=1e-9)
+                    np.testing.assert_allclose(chunk, expected, atol=float_tolerance())
 
     @pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
     @settings(max_examples=15, deadline=None)
@@ -98,7 +100,8 @@ class TestBatchSingleEquivalence:
         with no_grad():
             batched = model(merged).data
         np.testing.assert_allclose(
-            batched, np.concatenate([per_sample[i] for i in indices]), atol=1e-9)
+            batched, np.concatenate([per_sample[i] for i in indices]),
+            atol=float_tolerance())
 
     @pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
     def test_shuffled_batches_cover_all_paths(self, model_cls, seed=3):
@@ -122,7 +125,7 @@ class TestBatchedEvaluateLoss:
         unbatched = trainer.evaluate_loss(tensorized)
         for batch_size in (2, 3, len(tensorized)):
             batched = trainer.evaluate_loss(make_batches(tensorized, batch_size))
-            assert batched == pytest.approx(unbatched, abs=1e-9)
+            assert batched == pytest.approx(unbatched, abs=float_tolerance())
 
     def test_weighting_differs_from_naive_mean(self):
         """With unequal path counts the naive mean over items is biased."""

@@ -1,0 +1,83 @@
+"""Float32 and float64 training/evaluation must agree within tolerance.
+
+The dtype-configurable stack promises that float32 is a *precision* choice,
+not a different model: identical seeds give weights equal up to rounding,
+so one epoch of training, the evaluation losses and the paper-style metrics
+must coincide between precisions far more tightly than any real accuracy
+signal.  These tests pin that contract for both architectures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.models import (
+    ExtendedRouteNet,
+    RouteNet,
+    RouteNetConfig,
+    RouteNetTrainer,
+    TrainerConfig,
+    evaluate_model,
+)
+from repro.topology import ring_topology
+
+MODEL_CLASSES = {"original": RouteNet, "extended": ExtendedRouteNet}
+
+
+def _run(model_name: str, dtype: str):
+    samples = generate_dataset(ring_topology(5), DatasetConfig(num_samples=10, seed=3))
+    config = RouteNetConfig(link_state_dim=10, path_state_dim=10, node_state_dim=10,
+                            message_passing_iterations=3, seed=2, dtype=dtype)
+    model = MODEL_CLASSES[model_name](config)
+    trainer = RouteNetTrainer(model, TrainerConfig(epochs=1, batch_size=2, dtype=dtype,
+                                                   learning_rate=0.003, seed=2))
+    history = trainer.fit(samples[:8], val_samples=samples[8:])
+    eval_loss = trainer.evaluate_loss(trainer.prepare(samples[8:]))
+    metrics = evaluate_model(model, samples[8:], trainer.normalizer, dtype=dtype)
+    return model, history, eval_loss, metrics
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_CLASSES))
+def both_precisions(request):
+    """One (float64, float32) training run pair per architecture."""
+    return (_run(request.param, "float64"), _run(request.param, "float32"))
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_CLASSES))
+def test_parameters_start_equal_up_to_rounding(model_name):
+    config = dict(link_state_dim=10, path_state_dim=10, node_state_dim=10,
+                  message_passing_iterations=3, seed=2)
+    model64 = MODEL_CLASSES[model_name](RouteNetConfig(dtype="float64", **config))
+    model32 = MODEL_CLASSES[model_name](RouteNetConfig(dtype="float32", **config))
+    for (name64, p64), (name32, p32) in zip(model64.named_parameters(),
+                                            model32.named_parameters()):
+        assert name64 == name32
+        assert p64.data.dtype == np.float64
+        assert p32.data.dtype == np.float32
+        # Same rng stream, cast once: float32 weights are the rounded float64 ones.
+        np.testing.assert_array_equal(p32.data, p64.data.astype(np.float32))
+
+
+def test_fit_one_epoch_agrees(both_precisions):
+    (_, history64, *_), (_, history32, *_) = both_precisions
+    assert history32.train_loss[0] == pytest.approx(history64.train_loss[0], rel=1e-4)
+    assert history32.val_loss[0] == pytest.approx(history64.val_loss[0], rel=1e-4)
+
+
+def test_evaluate_loss_matches(both_precisions):
+    (_, _, loss64, _), (_, _, loss32, _) = both_precisions
+    assert loss32 == pytest.approx(loss64, rel=1e-4)
+
+
+def test_evaluate_model_matches(both_precisions):
+    (*_, metrics64), (*_, metrics32) = both_precisions
+    for key in ("mean_relative_error", "median_relative_error",
+                "mape_percent", "rmse", "pearson"):
+        assert metrics32[key] == pytest.approx(metrics64[key], rel=1e-4), key
+    np.testing.assert_allclose(metrics32["relative_errors"],
+                               metrics64["relative_errors"], atol=1e-5)
+    assert metrics32["num_paths"] == metrics64["num_paths"]
+    # Metric arithmetic stays float64 even for the float32 model.
+    assert metrics32["relative_errors"].dtype == np.float64

@@ -16,6 +16,8 @@ from repro.routing import RoutingScheme, shortest_path_routing
 from repro.topology import Topology, ring_topology
 from repro.traffic import TrafficMatrix, uniform_traffic
 
+from tests.support import float_tolerance
+
 CONFIG = RouteNetConfig(link_state_dim=8, path_state_dim=8, node_state_dim=8,
                         message_passing_iterations=3, seed=2)
 
@@ -79,7 +81,8 @@ def test_predictions_invariant_to_node_relabelling(model_cls):
     for row, (source, destination) in enumerate(original_pairs):
         mapped_pair = (mapping[source], mapping[destination])
         permuted_row = permuted_pairs.index(mapped_pair)
-        assert permuted[permuted_row] == pytest.approx(original[row], abs=1e-9)
+        assert permuted[permuted_row] == pytest.approx(
+            original[row], abs=float_tolerance())
 
 
 def test_ground_truth_also_invariant_to_relabelling():
@@ -115,4 +118,4 @@ def test_predictions_independent_of_unused_links(model_cls):
     model = model_cls(CONFIG)
     base = model.predict(tensorize_sample(sample, normalizer))
     with_chord = model.predict(tensorize_sample(extended_sample, normalizer))
-    np.testing.assert_allclose(with_chord, base, atol=1e-9)
+    np.testing.assert_allclose(with_chord, base, atol=float_tolerance())

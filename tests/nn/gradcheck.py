@@ -1,0 +1,181 @@
+"""Reusable finite-difference gradient-checking harness.
+
+The autograd substrate hand-writes every backward pass, so each op must be
+held against a numerical reference — in *both* supported precisions now that
+the stack is dtype-configurable.  The harness implements the standard
+recipe:
+
+* the **numerical** gradient is a central difference evaluated entirely in
+  float64 (the function under test follows the dtype of its inputs because
+  :func:`repro.nn.tensor._as_array` preserves float array dtypes), so the
+  reference is never polluted by float32 rounding;
+* the **analytic** gradient runs the same function on tensors cast to the
+  requested dtype and back-propagates a fixed random cotangent (a plain
+  ``.sum()`` would let sign errors across elements cancel);
+* tolerances are per-dtype: float64 checks are tight, float32 checks are
+  loose enough for accumulated single-precision rounding yet still orders
+  of magnitude below any formula error.
+
+``gradcheck`` covers free functions and tensor methods;
+``module_gradcheck`` covers :class:`~repro.nn.module.Module` subclasses
+(recurrent cells, layers) by numerically differentiating a float64 twin of
+the module with identical weights and comparing input *and* parameter
+gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, default_dtype, no_grad, resolve_dtype
+
+__all__ = ["TOLERANCES", "numerical_gradient", "gradcheck", "module_gradcheck"]
+
+#: Per-dtype defaults: finite-difference step and comparison tolerances.
+TOLERANCES: Dict[str, Dict[str, float]] = {
+    "float64": {"eps": 1e-6, "atol": 1e-6, "rtol": 1e-5},
+    # The analytic side accumulates float32 rounding (~1e-7 relative per op);
+    # formula errors show up at relative errors of order 1.
+    "float32": {"eps": 1e-6, "atol": 2e-3, "rtol": 2e-3},
+}
+
+
+def _settings(dtype, eps, atol, rtol):
+    resolved = resolve_dtype(dtype)
+    defaults = TOLERANCES[resolved.name]
+    return (resolved,
+            defaults["eps"] if eps is None else eps,
+            defaults["atol"] if atol is None else atol,
+            defaults["rtol"] if rtol is None else rtol)
+
+
+def _cotangent(shape, seed: int = 1234) -> np.ndarray:
+    """A fixed random projection so per-element errors cannot cancel."""
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+def numerical_gradient(fn: Callable[..., float], arrays: Sequence[np.ndarray],
+                       index: int, eps: float) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*arrays)`` w.r.t. one input."""
+    base = [np.array(a, dtype=np.float64) for a in arrays]
+    grad = np.zeros_like(base[index])
+    flat_input = base[index].ravel()
+    flat_grad = grad.ravel()
+    for position in range(flat_input.size):
+        original = flat_input[position]
+        flat_input[position] = original + eps
+        plus = fn(*base)
+        flat_input[position] = original - eps
+        minus = fn(*base)
+        flat_input[position] = original
+        flat_grad[position] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn: Callable[..., Tensor], arrays: Sequence[np.ndarray],
+              dtype="float64", eps: float = None, atol: float = None,
+              rtol: float = None, check_dtype: bool = True) -> None:
+    """Check analytic vs numerical gradients of ``fn`` at the given dtype.
+
+    ``fn`` receives one :class:`Tensor` per input array and returns a tensor
+    of any shape; it must route every input through differentiable ops.
+    Raises ``AssertionError`` on mismatch.  With ``check_dtype`` the output
+    must carry the requested dtype — this guards fused float32 paths against
+    silently upcasting to float64.
+    """
+    resolved, eps, atol, rtol = _settings(dtype, eps, atol, rtol)
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+
+    inputs = [Tensor(a.astype(resolved), requires_grad=True) for a in arrays]
+    output = fn(*inputs)
+    if check_dtype and output.dtype != resolved:
+        raise AssertionError(
+            f"output dtype {output.dtype} does not match requested {resolved}")
+    weights = _cotangent(output.shape)
+    (output * weights.astype(resolved)).sum().backward()
+
+    def scalar_fn(*values: np.ndarray) -> float:
+        with no_grad():
+            result = fn(*(Tensor(v) for v in values))
+        return float((result.data * weights).sum())
+
+    for position, tensor_input in enumerate(inputs):
+        assert tensor_input.grad is not None, f"no gradient reached input {position}"
+        if check_dtype and tensor_input.grad.dtype != resolved:
+            raise AssertionError(
+                f"gradient dtype {tensor_input.grad.dtype} for input {position} "
+                f"does not match requested {resolved}")
+        expected = numerical_gradient(scalar_fn, arrays, position, eps)
+        np.testing.assert_allclose(
+            tensor_input.grad.astype(np.float64), expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {position} at dtype {resolved}")
+
+
+def module_gradcheck(factory: Callable[[], Module],
+                     arrays: Sequence[np.ndarray],
+                     forward: Callable[..., Tensor] = None,
+                     dtype="float64", eps: float = None, atol: float = None,
+                     rtol: float = None) -> None:
+    """Gradient-check a module's inputs *and* parameters at the given dtype.
+
+    ``factory`` must build an identically-initialised module every call
+    (fix its rng seed); one instance is built at ``dtype`` for the analytic
+    pass and one at float64 for the numerical reference, so the float32
+    check compares single-precision backward against a double-precision
+    finite difference.  ``forward`` defaults to ``module(*inputs)``.
+    """
+    resolved, eps, atol, rtol = _settings(dtype, eps, atol, rtol)
+    if forward is None:
+        forward = lambda module, *inputs: module(*inputs)  # noqa: E731
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+
+    with default_dtype(resolved):
+        module = factory()
+    with default_dtype(np.float64):
+        reference = factory()
+
+    inputs = [Tensor(a.astype(resolved), requires_grad=True) for a in arrays]
+    module.zero_grad()
+    output = forward(module, *inputs)
+    if output.dtype != resolved:
+        raise AssertionError(
+            f"module output dtype {output.dtype} does not match requested {resolved}")
+    weights = _cotangent(output.shape)
+    (output * weights.astype(resolved)).sum().backward()
+
+    parameters = list(module.named_parameters())
+    reference_parameters = dict(reference.named_parameters())
+
+    def scalar_fn(*values: np.ndarray) -> float:
+        with no_grad():
+            result = forward(reference, *(Tensor(v) for v in values))
+        return float((result.data * weights).sum())
+
+    # Input gradients.
+    for position, tensor_input in enumerate(inputs):
+        assert tensor_input.grad is not None, f"no gradient reached input {position}"
+        expected = numerical_gradient(scalar_fn, arrays, position, eps)
+        np.testing.assert_allclose(
+            tensor_input.grad.astype(np.float64), expected, atol=atol, rtol=rtol,
+            err_msg=f"input {position} gradient mismatch at dtype {resolved}")
+
+    # Parameter gradients: perturb the float64 twin's weights in place
+    # (``.flat`` assignment works for any memory layout, unlike a ravel view).
+    for name, parameter in parameters:
+        assert parameter.grad is not None, f"no gradient reached parameter {name}"
+        twin = reference_parameters[name]
+        grad = np.zeros_like(twin.data)
+        for position in range(twin.data.size):
+            original = twin.data.flat[position]
+            twin.data.flat[position] = original + eps
+            plus = scalar_fn(*arrays)
+            twin.data.flat[position] = original - eps
+            minus = scalar_fn(*arrays)
+            twin.data.flat[position] = original
+            grad.flat[position] = (plus - minus) / (2.0 * eps)
+        np.testing.assert_allclose(
+            parameter.grad.astype(np.float64), grad, atol=atol, rtol=rtol,
+            err_msg=f"parameter {name} gradient mismatch at dtype {resolved}")

@@ -275,6 +275,17 @@ class TestGraphMechanics:
         assert T.ones((2, 2)).data.sum() == 4.0
         assert T.randn((3, 3), rng=np.random.default_rng(0)).shape == (3, 3)
 
+    def test_explicit_dtype_wins_over_input_dtype(self):
+        from repro.nn.tensor import default_dtype
+        source = Tensor(np.ones(3))  # float64
+        assert Tensor(source, dtype="float32").dtype == np.float32
+        assert Tensor(np.ones(3, dtype=np.float64), dtype="float32").dtype == np.float32
+        # Without an explicit dtype, float arrays keep theirs even when the
+        # ambient default differs.
+        with default_dtype("float32"):
+            assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+
 
 class TestHypothesisProperties:
     @given(st.lists(st.floats(-10, 10), min_size=1, max_size=30))

@@ -1,0 +1,24 @@
+"""Helpers shared by test modules (importable, unlike conftest.py).
+
+Kept separate from ``conftest.py`` so test modules can import these without
+re-importing the conftest under a second module name (pytest loads
+``conftest.py`` as a top-level module, not as ``tests.conftest``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import get_default_dtype
+
+__all__ = ["float_tolerance"]
+
+
+def float_tolerance(float64_tol: float = 1e-9, float32_tol: float = 1e-4) -> float:
+    """An absolute/relative tolerance matched to the active default dtype.
+
+    Float32 runs accumulate ~1e-7 relative rounding per op and reorderings
+    (merged batches, permuted graphs) expose it; 1e-4 keeps those checks
+    meaningful while staying orders of magnitude below real regressions.
+    """
+    return float64_tol if np.dtype(get_default_dtype()) == np.float64 else float32_tol
