@@ -1,4 +1,4 @@
-"""Training throughput and peak memory vs mini-batch size and dtype.
+"""Training throughput and peak memory vs batch size, dtype and scan mode.
 
 Mini-batching merges several scenarios into one disjoint-union graph per
 optimisation step (``repro.datasets.batching``), so the per-step Python and
@@ -15,26 +15,75 @@ memory-bound; the float32 stack (``dtype="float32"``), the fused masked
 update / gather-segment-sum autograd nodes and the per-backward gradient
 buffer pool attack exactly that regime, so this module also records
 tracemalloc peaks per batch size in both precisions and holds the fused ops
-against their unfused (seed) formulations.
+against their unfused (seed) formulations.  Beyond ~10³ merged paths the
+*stacked* per-step RNN outputs themselves dominate peak memory; the
+streaming checkpointed scan (``scan_mode="stream"``) removes them, and
+``test_streaming_scan_large_graph`` holds it to ≤ 0.6x the stacked peak at
+≥ 0.9x the stacked throughput on a ≥1000-path merged batch.
+
+Every figure measured here is also written to ``BENCH_throughput.json`` at
+the repo root (samples/sec and tracemalloc peaks keyed by batch size, dtype
+and scan mode), so the perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import gc
+import json
+import pathlib
 import time
 import tracemalloc
 
 import numpy as np
 import pytest
 
-from repro.datasets import DatasetConfig, generate_dataset
+from repro.datasets import (
+    DatasetConfig,
+    FeatureNormalizer,
+    generate_dataset,
+    tensorize_sample,
+)
+from repro.datasets.batching import merge_tensorized_samples
 from repro.models import ExtendedRouteNet, RouteNetConfig, RouteNetTrainer, TrainerConfig
-from repro.topology import ring_topology
+from repro.nn.tensor import get_default_dtype
+from repro.topology import geant2_topology, ring_topology
 
 BATCH_SIZES = (1, 4, 16)
 MEMORY_BATCH_SIZES = (1, 4, 16, 32)
 DTYPES = ("float64", "float32")
 NUM_SAMPLES = 32
 EPOCHS = 2
+
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+
+#: Accumulated measurements, dumped to ``BENCH_throughput.json`` after the
+#: module runs.  Keys are stringified so the JSON round-trips cleanly.
+RESULTS: dict = {"scan_mode_default": "stream"}
+
+
+def _resolved_dtype_name(dtype) -> str:
+    return np.dtype(dtype).name if dtype is not None else get_default_dtype().name
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Merge every measurement this module produced into the repo-root JSON.
+
+    Read-update-write rather than overwrite, so a partial run (``-k`` subset,
+    or an aborted ``-x`` session) refreshes only the sections it actually
+    measured and the rest of the perf record survives.
+    """
+    yield
+    RESULTS["unit"] = {"throughput": "trained samples per second",
+                       "peak_memory": "tracemalloc peak bytes"}
+    merged: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged.update(RESULTS)
+    BENCH_JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -44,7 +93,8 @@ def training_samples():
                                           small_queue_fraction=0.5))
 
 
-def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS):
+def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS,
+                  scan_mode: str = "stream"):
     model = ExtendedRouteNet(RouteNetConfig(
         link_state_dim=bench_scale["state_dim"],
         path_state_dim=bench_scale["state_dim"],
@@ -52,6 +102,7 @@ def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS
         message_passing_iterations=bench_scale["iterations"],
         seed=41,
         dtype=dtype,
+        scan_mode=scan_mode,
     ))
     return RouteNetTrainer(model, TrainerConfig(
         epochs=epochs, learning_rate=0.003, batch_size=batch_size,
@@ -89,6 +140,9 @@ def test_batched_training_throughput(training_samples, bench_scale):
     """Record samples/sec at batch sizes 1/4/16; batching must pay off."""
     throughput = {batch_size: _throughput(training_samples, batch_size, bench_scale)
                   for batch_size in BATCH_SIZES}
+    RESULTS["throughput_by_batch_size"] = {
+        "dtype": _resolved_dtype_name(None), "scan_mode": "stream",
+        "samples_per_sec": {str(b): throughput[b] for b in BATCH_SIZES}}
 
     print("\ntraining throughput (trained samples per second)")
     for batch_size in BATCH_SIZES:
@@ -112,6 +166,10 @@ def test_peak_memory_by_batch_size_and_dtype(training_samples, bench_scale):
                                               bench_scale, dtype=dtype)
                      for batch_size in MEMORY_BATCH_SIZES}
              for dtype in DTYPES}
+    RESULTS["peak_memory_by_batch_size_and_dtype"] = {
+        "scan_mode": "stream",
+        "peak_bytes": {dtype: {str(b): peaks[dtype][b] for b in MEMORY_BATCH_SIZES}
+                       for dtype in DTYPES}}
 
     print("\npeak training memory (tracemalloc, one epoch)")
     for batch_size in MEMORY_BATCH_SIZES:
@@ -135,6 +193,10 @@ def test_float32_meets_speed_or_memory_bar(training_samples, bench_scale):
     peak32 = _peak_memory(training_samples, 16, bench_scale, dtype="float32")
     speedup = speed32 / speed64
     memory_ratio = peak32 / peak64
+    RESULTS["float32_vs_float64_bs16"] = {
+        "scan_mode": "stream", "samples_per_sec": {"float64": speed64, "float32": speed32},
+        "peak_bytes": {"float64": peak64, "float32": peak32},
+        "speedup": speedup, "memory_ratio": memory_ratio}
     print(f"\nfloat32 vs float64 at batch_size=16: "
           f"{speedup:.2f}x samples/sec, {memory_ratio:.2f}x peak memory")
     assert speedup >= 1.3 or memory_ratio <= 0.7
@@ -202,6 +264,67 @@ def test_fused_backward_allocates_less_than_seed_ops():
     # The pool must actually recycle buffers across steps: many reuses per
     # fresh allocation.
     assert pool["hits"] >= 5 * max(pool["misses"], 1)
+
+
+def _large_graph_step_stats(merged, bench_scale, scan_mode: str, dtype: str,
+                            repetitions: int = 3):
+    """(best step seconds, forward+backward tracemalloc peak) for one mode."""
+    model = ExtendedRouteNet(RouteNetConfig(
+        link_state_dim=bench_scale["state_dim"],
+        path_state_dim=bench_scale["state_dim"],
+        node_state_dim=bench_scale["state_dim"],
+        message_passing_iterations=bench_scale["iterations"],
+        seed=41, dtype=dtype, scan_mode=scan_mode))
+    trainer = RouteNetTrainer(model, TrainerConfig(epochs=1, dtype=dtype, seed=41))
+    trainer.train_step(merged)  # warm up the index / scan-plan caches
+    best = np.inf
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        trainer.train_step(merged)
+        best = min(best, time.perf_counter() - start)
+    gc.collect()
+    tracemalloc.start()
+    trainer.train_step(merged)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return best, peak
+
+
+def test_streaming_scan_large_graph(bench_scale):
+    """Tentpole acceptance: on a ≥1000-path merged batch the streaming
+    checkpointed scan must cut forward+backward peak tracemalloc to ≤ 0.6x
+    the stacked scan at equal dtype while keeping ≥ 0.9x its samples/sec
+    (the recompute overhead stays bounded)."""
+    dtype = "float64"
+    samples = generate_dataset(geant2_topology(),
+                               DatasetConfig(num_samples=2, seed=7,
+                                             small_queue_fraction=0.5))
+    normalizer = FeatureNormalizer().fit(samples)
+    merged = merge_tensorized_samples(
+        [tensorize_sample(s, normalizer, dtype=dtype) for s in samples])
+    assert merged.num_paths >= 1000
+
+    stats = {mode: _large_graph_step_stats(merged, bench_scale, mode, dtype)
+             for mode in ("stacked", "stream")}
+    peak_ratio = stats["stream"][1] / stats["stacked"][1]
+    # samples/sec ratio == inverse step-time ratio (same batch both modes).
+    speed_ratio = stats["stacked"][0] / stats["stream"][0]
+    RESULTS["large_graph_stream_vs_stacked"] = {
+        "num_paths": int(merged.num_paths), "dtype": dtype,
+        "samples_per_sec": {
+            mode: merged.num_merged_samples / stats[mode][0] for mode in stats},
+        "peak_bytes": {mode: stats[mode][1] for mode in stats},
+        "peak_ratio": peak_ratio, "speed_ratio": speed_ratio}
+
+    print(f"\nstreaming vs stacked scan at {merged.num_paths} merged paths ({dtype})")
+    for mode in ("stacked", "stream"):
+        step, peak = stats[mode]
+        print(f"  {mode:8s}: {step * 1e3:7.1f} ms/step   peak {peak / 1e6:8.2f} MB")
+    print(f"  ratios : peak {peak_ratio:.3f}x (bar ≤ 0.6), "
+          f"speed {speed_ratio:.3f}x (bar ≥ 0.9)")
+
+    assert peak_ratio <= 0.6
+    assert speed_ratio >= 0.9
 
 
 def test_batched_step_equivalent_loss_scale(training_samples, bench_scale):

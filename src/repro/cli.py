@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training precision: float32 roughly halves the "
                             "memory footprint of large-batch training "
                             "(default: float64)")
+    train.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
+                       help="path-RNN formulation: 'stream' recomputes the scan "
+                            "in backward (flat peak memory on large merged "
+                            "graphs); 'stacked' materialises per-step outputs "
+                            "(the pre-streaming formulation)")
+    train.add_argument("--bucket-by-length", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="group scenarios of similar path length per merged "
+                            "batch (shrinks padding; batches are merged once "
+                            "and only reshuffled between epochs)")
     train.add_argument("--state-dim", type=int, default=16)
     train.add_argument("--iterations", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
@@ -86,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--dtype", choices=["float32", "float64"], default=None,
                           help="inference precision (default: the dtype recorded "
                                "in the checkpoint metadata, float64 if absent)")
+    evaluate.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
+                          help="path-RNN formulation for inference ('stream' keeps "
+                               "evaluation peak memory flat on large scenarios)")
 
     fig2 = subparsers.add_parser("fig2", help="run the Fig. 2 experiment end to end")
     fig2.add_argument("--train-samples", type=int, default=40)
@@ -95,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scenarios merged into one optimisation step")
     fig2.add_argument("--dtype", choices=["float32", "float64"], default=None,
                       help="training/evaluation precision (default: float64)")
+    fig2.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
+                      help="path-RNN formulation (see 'train --scan-mode')")
+    fig2.add_argument("--bucket-by-length", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="bucket scenarios of similar path length per batch")
     fig2.add_argument("--state-dim", type=int, default=16)
     fig2.add_argument("--seed", type=int, default=0)
 
@@ -122,11 +140,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0,
-                 dtype: Optional[str] = None):
+                 dtype: Optional[str] = None, scan_mode: str = "stream"):
     config = RouteNetConfig(link_state_dim=state_dim, path_state_dim=state_dim,
                             node_state_dim=state_dim,
                             message_passing_iterations=iterations, seed=seed,
-                            dtype=dtype)
+                            dtype=dtype, scan_mode=scan_mode)
     return _MODELS[name](config)
 
 
@@ -134,11 +152,12 @@ def _command_train(args: argparse.Namespace) -> int:
     samples, normalizer, _ = load_dataset(args.dataset)
     train_samples, val_samples, _ = train_val_test_split(samples, 0.8, 0.1, seed=args.seed)
     model = _build_model(args.model, args.state_dim, args.iterations, args.seed,
-                         dtype=args.dtype)
+                         dtype=args.dtype, scan_mode=args.scan_mode)
     trainer = RouteNetTrainer(
         model,
         TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate,
-                      batch_size=args.batch_size, dtype=args.dtype, seed=args.seed),
+                      batch_size=args.batch_size, dtype=args.dtype,
+                      bucket_by_length=args.bucket_by_length, seed=args.seed),
         normalizer=normalizer,
     )
     history = trainer.fit(train_samples, val_samples=val_samples or None)
@@ -161,7 +180,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     samples, normalizer, _ = load_dataset(args.dataset)
     # Default the precision to whatever the checkpoint was trained at.
     dtype = args.dtype or read_checkpoint_metadata(args.weights).get("dtype")
-    model = _build_model(args.model, args.state_dim, args.iterations, dtype=dtype)
+    model = _build_model(args.model, args.state_dim, args.iterations, dtype=dtype,
+                         scan_mode=args.scan_mode)
     metadata = load_checkpoint(model, args.weights)
     if normalizer is None and "normalizer" in metadata:
         normalizer = FeatureNormalizer.from_dict(metadata["normalizer"])
@@ -185,6 +205,8 @@ def _command_fig2(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         state_dim=args.state_dim,
         dtype=args.dtype,
+        scan_mode=args.scan_mode,
+        bucket_by_length=args.bucket_by_length,
         seed=args.seed,
     )
     print(result.report())

@@ -109,19 +109,38 @@ def merge_tensorized_samples(samples: Sequence[TensorizedSample]) -> TensorizedS
 
 
 def make_batches(samples: Sequence[TensorizedSample], batch_size: int,
-                 rng: Optional[np.random.Generator] = None) -> List[TensorizedSample]:
+                 rng: Optional[np.random.Generator] = None,
+                 bucket_by_length: bool = False) -> List[TensorizedSample]:
     """Group tensorised samples into merged batches of ``batch_size``.
 
-    The last batch may be smaller.  When ``rng`` is given the samples are
-    shuffled before batching.
+    The last batch may be smaller.  When ``rng`` is given and
+    ``bucket_by_length`` is off, the samples are shuffled before batching.
+
+    With ``bucket_by_length`` the samples are first sorted (stably) by their
+    ``max_path_length``, so each merged batch groups scenarios of similar
+    sequence length: merging pads every path to the longest in the batch,
+    and bucketing shrinks those padded tails — more steps of the RNN scan
+    hit the no-masking ``fully_valid`` fast path and fewer padded entries
+    are carried at all.  Batch *membership* is then deterministic (a
+    function of the sample lengths only), which lets trainers pre-merge the
+    batches once and reshuffle only their order each epoch; ``rng`` is used
+    to shuffle that batch order here.  Every sample lands in exactly one
+    batch either way.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     samples = list(samples)
     if not samples:
         raise ValueError("cannot batch an empty list of samples")
-    if rng is not None:
+    if bucket_by_length:
+        order = np.argsort([s.max_path_length for s in samples], kind="stable")
+        samples = [samples[i] for i in order]
+    elif rng is not None:
         order = rng.permutation(len(samples))
         samples = [samples[i] for i in order]
-    return [merge_tensorized_samples(samples[i:i + batch_size])
-            for i in range(0, len(samples), batch_size)]
+    batches = [merge_tensorized_samples(samples[i:i + batch_size])
+               for i in range(0, len(samples), batch_size)]
+    if bucket_by_length and rng is not None:
+        batch_order = rng.permutation(len(batches))
+        batches = [batches[i] for i in batch_order]
+    return batches

@@ -36,6 +36,15 @@ class RouteNetConfig:
         ``"float64"`` or ``None`` (use the process default, see
         :func:`repro.nn.tensor.set_default_dtype`).  float32 halves the
         memory footprint of the backward pass on large merged batches.
+    scan_mode:
+        How the path RNN scans its sequences: ``"stream"`` (default) uses
+        the checkpointed streaming scan that recomputes per-step
+        intermediates in backward and scatters outputs straight into the
+        aggregation accumulators — O(paths·dim) live graph memory per
+        message-passing iteration; ``"stacked"`` keeps the original
+        formulation that materialises the gathered sequence and the stacked
+        per-step outputs in the autograd graph (useful for gradcheck
+        cross-validation against the streaming path).
     seed:
         Seed for weight initialisation.
     """
@@ -48,6 +57,7 @@ class RouteNetConfig:
     readout_activation: str = "relu"
     output_positive: bool = False
     dtype: Optional[str] = None
+    scan_mode: str = "stream"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -57,4 +67,6 @@ class RouteNetConfig:
             raise ValueError("message_passing_iterations must be at least 1")
         if any(h < 1 for h in self.readout_hidden_sizes):
             raise ValueError("readout hidden sizes must be positive")
+        if self.scan_mode not in ("stream", "stacked"):
+            raise ValueError("scan_mode must be 'stream' or 'stacked'")
         resolve_dtype(self.dtype)  # raises on anything but float32/float64/None

@@ -30,12 +30,13 @@ from repro.models.message_passing import (
     MessagePassingIndex,
     aggregate_path_states_per_node,
     build_index,
+    build_scan_plan,
     initial_state,
 )
 from repro.models.readout import ReadoutMLP
 from repro.nn import functional as F
 from repro.nn.module import Module
-from repro.nn.recurrent import GRUCell, run_rnn_over_sequence
+from repro.nn.recurrent import GRUCell, run_rnn_over_sequence, scan_rnn
 from repro.nn.tensor import Tensor, default_dtype, gather_segment_sum, resolve_dtype
 
 __all__ = ["ExtendedRouteNet"]
@@ -104,22 +105,35 @@ class ExtendedRouteNet(Module):
         link_states: Tensor,
         node_states: Tensor,
     ) -> Tuple[Tensor, Tensor, Tensor]:
-        # Path update over the interleaved node/link sequence.
-        sequence, mask = self._gather_interleaved_sequence(sample, link_states, node_states)
-        outputs, new_path_states = run_rnn_over_sequence(
-            self.path_update, sequence, mask, initial_state=path_states)
+        if self.config.scan_mode == "stream":
+            # Streaming checkpointed scan over the interleaved node/link
+            # sequence: even steps gather node states, odd steps link states,
+            # and only the odd (link) steps scatter their outputs into the
+            # per-link accumulators — the interleaved sequence and the
+            # stacked outputs never materialise.
+            plan = build_scan_plan(sample, index, interleaved=True)
+            link_messages, new_path_states = scan_rnn(
+                self.path_update, (node_states, link_states), plan.step_sources,
+                plan.step_rows, plan.mask, initial_state=path_states,
+                scatter=plan.scatter)
+        else:
+            # Stacked formulation over the gathered interleaved sequence.
+            sequence, mask = self._gather_interleaved_sequence(
+                sample, link_states, node_states)
+            outputs, new_path_states = run_rnn_over_sequence(
+                self.path_update, sequence, mask, initial_state=path_states)
 
-        # Link update: the message to a link is the RNN output right after
-        # reading that link (odd positions of the interleaved sequence).
-        # Fused gather + segment-sum keeps the (num_entries, dim) selection
-        # out of the autograd graph.
-        link_positions = index.entry_positions * 2 + 1
-        link_messages = gather_segment_sum(
-            outputs,
-            (index.entry_path_ids, link_positions),
-            index.entry_link_ids,
-            index.num_links,
-        )
+            # Link update: the message to a link is the RNN output right after
+            # reading that link (odd positions of the interleaved sequence).
+            # Fused gather + segment-sum keeps the (num_entries, dim) selection
+            # out of the autograd graph.
+            link_positions = index.entry_positions * 2 + 1
+            link_messages = gather_segment_sum(
+                outputs,
+                (index.entry_path_ids, link_positions),
+                index.entry_link_ids,
+                index.num_links,
+            )
         new_link_states = self.link_update(link_messages, link_states)
 
         # Node update: element-wise sum of the states of the paths crossing

@@ -16,15 +16,16 @@ message-passing iteration:
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.datasets.tensorize import TensorizedSample
+from repro.nn.recurrent import ScanScatter
 from repro.nn.tensor import DTypeLike, Tensor, gather_segment_sum, resolve_dtype
 
 __all__ = ["MessagePassingIndex", "build_index", "initial_state", "aggregate_positional_messages",
-           "aggregate_path_states_per_node"]
+           "aggregate_path_states_per_node", "ScanPlan", "build_scan_plan"]
 
 
 @dataclasses.dataclass
@@ -42,6 +43,11 @@ class MessagePassingIndex:
     num_paths: int
     num_links: int
     num_nodes: int
+    #: Memoised :class:`ScanPlan` per layout ("link" / "interleaved"), filled
+    #: lazily by :func:`build_scan_plan` — the plan depends only on routing
+    #: structure, so all message-passing iterations and epochs share it.
+    _scan_plans: Dict[str, "ScanPlan"] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False)
 
 
 def build_index(sample: TensorizedSample) -> MessagePassingIndex:
@@ -116,6 +122,85 @@ def aggregate_positional_messages(path_rnn_outputs: Tensor, index: MessagePassin
         segment_ids,
         num_segments,
     )
+
+
+@dataclasses.dataclass
+class ScanPlan:
+    """Everything :func:`repro.nn.recurrent.scan_rnn` needs for one sample.
+
+    ``step_sources``/``step_rows``/``mask`` describe the per-step input
+    gathers (which source matrix, which rows, which paths are valid), and
+    ``scatter`` routes each step's outputs into the per-link accumulators —
+    replacing the stacked ``(num_paths, num_steps, dim)`` sequence, the
+    stacked outputs and the post-hoc gather/segment-sum of the stacked
+    formulation.
+    """
+
+    step_sources: np.ndarray
+    step_rows: np.ndarray
+    mask: np.ndarray
+    scatter: ScanScatter
+
+
+def _per_position_link_scatter(index: MessagePassingIndex, num_steps: int,
+                               stride: int, offset: int) -> ScanScatter:
+    """Split the flat (path, position, link) entries into per-step groups.
+
+    Entry at path position ``p`` becomes an output emission at scan step
+    ``p * stride + offset`` — stride 1/offset 0 for the plain link sequence,
+    stride 2/offset 1 for the interleaved node-link sequence where link
+    outputs appear at odd steps.
+    """
+    rows = [None] * num_steps
+    segment_ids = [None] * num_steps
+    order = np.argsort(index.entry_positions, kind="stable")
+    positions = index.entry_positions[order]
+    path_ids = index.entry_path_ids[order]
+    link_ids = index.entry_link_ids[order]
+    unique_positions, starts = np.unique(positions, return_index=True)
+    ends = np.append(starts[1:], positions.size)
+    for position, start, stop in zip(unique_positions, starts, ends):
+        step = int(position) * stride + offset
+        rows[step] = path_ids[start:stop]
+        segment_ids[step] = link_ids[start:stop]
+    return ScanScatter(rows=rows, segment_ids=segment_ids,
+                       num_segments=index.num_links)
+
+
+def build_scan_plan(sample: TensorizedSample, index: MessagePassingIndex,
+                    interleaved: bool = False) -> ScanPlan:
+    """Build (and memoise) the streaming-scan plan for one sample.
+
+    ``interleaved=False`` describes the original RouteNet path update (the
+    scan reads one link state per hop); ``interleaved=True`` the extended
+    model's ``node1-link1-node2-link2-…`` sequence, where even steps gather
+    from the node states (source 0) and odd steps from the link states
+    (source 1), and only the odd (link) steps emit aggregated messages.
+    """
+    key = "interleaved" if interleaved else "link"
+    cached = index._scan_plans.get(key)
+    if cached is not None:
+        return cached
+    max_len = sample.max_path_length
+    if not interleaved:
+        plan = ScanPlan(
+            step_sources=np.zeros(max_len, dtype=np.int64),
+            step_rows=sample.link_sequences,
+            mask=sample.sequence_mask,
+            scatter=_per_position_link_scatter(index, max_len, stride=1, offset=0),
+        )
+    else:
+        step_rows = np.empty((sample.num_paths, 2 * max_len), dtype=np.int64)
+        step_rows[:, 0::2] = sample.node_sequences
+        step_rows[:, 1::2] = sample.link_sequences
+        plan = ScanPlan(
+            step_sources=np.tile(np.array([0, 1], dtype=np.int64), max_len),
+            step_rows=step_rows,
+            mask=np.repeat(sample.sequence_mask, 2, axis=1),
+            scatter=_per_position_link_scatter(index, 2 * max_len, stride=2, offset=1),
+        )
+    index._scan_plans[key] = plan
+    return plan
 
 
 def aggregate_path_states_per_node(path_states: Tensor, index: MessagePassingIndex) -> Tensor:

@@ -45,6 +45,16 @@ class TrainerConfig:
     losses recorded in ``History`` are now always weighted by each item's
     path count, so on datasets with unequal path counts per scenario the
     *reported* loss is the per-path mean rather than the per-scenario mean.
+
+    ``bucket_by_length`` (default on, only meaningful with
+    ``batch_size > 1``) groups scenarios of similar maximum path length into
+    the same merged batch, the ``tf.data`` bucketing trick of the reference
+    implementation: padded tails shrink, so the RNN scan's no-masking fast
+    path dominates.  Because bucketing fixes batch membership, the batches
+    are merged (and their message-passing indices built) **once** before the
+    first epoch; ``shuffle`` then only permutes the order the pre-merged
+    batches are visited in.  Turn it off to recover the per-epoch
+    shuffle-and-merge of arbitrary scenario mixes.
     """
 
     epochs: int = 20
@@ -54,6 +64,7 @@ class TrainerConfig:
     gradient_clip_norm: float = 1.0
     shuffle: bool = True
     batch_size: int = 1
+    bucket_by_length: bool = True
     dtype: Optional[str] = None
     early_stopping_patience: Optional[int] = None
     seed: int = 0
@@ -148,8 +159,10 @@ class RouteNetTrainer:
 
         With ``batch_size == 1`` the cached per-sample tensorisations are
         reused directly (only the order is shuffled), so their memoised
-        message-passing indices survive across epochs; larger batch sizes
-        shuffle-and-merge fresh disjoint-union batches each epoch.
+        message-passing indices survive across epochs; larger (unbucketed)
+        batch sizes shuffle-and-merge fresh disjoint-union batches each
+        epoch.  Bucketed batching never reaches this method — its batches
+        are pre-merged once in :meth:`fit`.
         """
         if self.config.batch_size == 1:
             order = np.arange(len(train_items))
@@ -167,17 +180,30 @@ class RouteNetTrainer:
         if val_items and self.config.batch_size > 1:
             # Merge validation scenarios once; the weighted evaluate_loss
             # makes the batched value identical to the per-sample one.
-            val_items = make_batches(val_items, self.config.batch_size)
+            val_items = make_batches(val_items, self.config.batch_size,
+                                     bucket_by_length=self.config.bucket_by_length)
         stopper = (EarlyStopping(patience=self.config.early_stopping_patience, min_delta=1e-6)
                    if self.config.early_stopping_patience else None)
-        static_batches = (self._epoch_batches(train_items)
-                          if self.config.batch_size > 1 and not self.config.shuffle
-                          else None)
+        # When batch membership is fixed across epochs — bucketing pins it
+        # to the length ordering, and shuffle=False to the input order — the
+        # disjoint-union merge (and the memoised message-passing index /
+        # scan plan built on it) happens once here, and epochs only permute
+        # the visiting order of the pre-merged batches.
+        static_batches = None
+        if self.config.batch_size > 1 and (self.config.bucket_by_length
+                                           or not self.config.shuffle):
+            static_batches = make_batches(train_items, self.config.batch_size,
+                                          bucket_by_length=self.config.bucket_by_length)
 
         for epoch in range(1, self.config.epochs + 1):
             start = time.perf_counter()
-            batches = static_batches if static_batches is not None \
-                else self._epoch_batches(train_items)
+            if static_batches is not None:
+                batches = static_batches
+                if self.config.shuffle:
+                    order = self._rng.permutation(len(static_batches))
+                    batches = [static_batches[i] for i in order]
+            else:
+                batches = self._epoch_batches(train_items)
             step_losses = np.array([self.train_step(batch) for batch in batches])
             step_weights = np.array([batch.num_paths for batch in batches], dtype=np.float64)
             train_loss = float(np.average(step_losses, weights=step_weights))

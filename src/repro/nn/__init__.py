@@ -23,6 +23,7 @@ from repro.nn.tensor import (
     default_dtype,
     gather_segment_sum,
     get_default_dtype,
+    make_multi_output,
     masked_where,
     no_grad,
     ones,
@@ -35,7 +36,7 @@ from repro.nn.tensor import (
 from repro.nn import functional
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import Dense, Dropout, Embedding, LayerNorm, Sequential
-from repro.nn.recurrent import GRUCell, LSTMCell, RNNCellBase
+from repro.nn.recurrent import GRUCell, LSTMCell, RNNCellBase, ScanScatter, scan_rnn
 from repro.nn.optimizers import (
     SGD,
     Adam,
@@ -90,6 +91,9 @@ __all__ = [
     "GRUCell",
     "LSTMCell",
     "RNNCellBase",
+    "ScanScatter",
+    "scan_rnn",
+    "make_multi_output",
     "Optimizer",
     "SGD",
     "Momentum",

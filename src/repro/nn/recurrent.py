@@ -14,16 +14,27 @@ sequences with a mask.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, as_tensor, get_default_dtype, masked_where
+from repro.nn.tensor import (
+    _GRAD_BUFFER_POOL,
+    Tensor,
+    as_tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    make_multi_output,
+    masked_where,
+    no_grad,
+)
 
-__all__ = ["RNNCellBase", "GRUCell", "LSTMCell", "run_rnn_over_sequence"]
+__all__ = ["RNNCellBase", "GRUCell", "LSTMCell", "run_rnn_over_sequence",
+           "ScanScatter", "scan_rnn"]
 
 
 class RNNCellBase(Module):
@@ -187,3 +198,194 @@ def run_rnn_over_sequence(
         outputs.append(state)
     stacked = F.stack(outputs, axis=1)
     return stacked, state
+
+
+@dataclasses.dataclass
+class ScanScatter:
+    """Per-step output aggregation spec for :func:`scan_rnn`.
+
+    At scan step ``t`` the state rows ``rows[t]`` (each a distinct path) are
+    added into the accumulator rows ``segment_ids[t]`` — the streaming
+    equivalent of stacking all per-step outputs and gather/segment-summing
+    them afterwards.  ``rows[t] is None`` means step ``t`` emits nothing
+    (e.g. the node positions of the interleaved extended-RouteNet sequence).
+    """
+
+    rows: List[Optional[np.ndarray]]
+    segment_ids: List[Optional[np.ndarray]]
+    num_segments: int
+
+
+def scan_rnn(
+    cell: RNNCellBase,
+    sources: Sequence[Tensor],
+    step_sources: np.ndarray,
+    step_rows: np.ndarray,
+    mask: np.ndarray,
+    initial_state: Optional[Tensor] = None,
+    scatter: Optional[ScanScatter] = None,
+) -> Tuple[Optional[Tensor], Tensor]:
+    """Streaming, checkpointed masked scan of ``cell`` fused with aggregation.
+
+    Semantically equivalent to gathering the per-step inputs into a
+    ``(num_paths, num_steps, dim)`` sequence, calling
+    :func:`run_rnn_over_sequence` and gather/segment-summing the stacked
+    outputs — but neither the gathered sequence, the stacked outputs nor any
+    per-step intermediate survives in the autograd graph:
+
+    * **forward** runs under ``no_grad``; step ``t`` gathers its input rows
+      ``sources[step_sources[t]][step_rows[:, t]]`` on the fly, applies the
+      cell, masks the update, and (when ``scatter`` is given) adds the
+      states of the paths valid at ``t`` straight into the per-segment
+      accumulator.  Only the carried state *before* each step is kept (one
+      ``(num_paths, state_size)`` array per step — the checkpoints), so live
+      memory is O(paths·state) per step instead of the O(paths·steps·state)
+      graph of the stacked formulation;
+    * **backward** re-runs each step in reverse from its checkpoint as a
+      two-leaf subgraph (input rows + previous state), back-propagates the
+      incoming state gradient plus the segment-gradient contributions of
+      that step, accumulates parameter gradients, and scatter-adds the input
+      gradient into the source tensors.
+
+    Parameters
+    ----------
+    cell:
+        The recurrent cell to scan.
+    sources:
+        State matrices the per-step inputs are gathered from (e.g.
+        ``(link_states,)``, or ``(node_states, link_states)`` for the
+        interleaved extended scan).
+    step_sources:
+        ``(num_steps,)`` index into ``sources`` per scan step.
+    step_rows:
+        ``(num_paths, num_steps)`` row index into the step's source.
+    mask:
+        ``(num_paths, num_steps)`` validity mask; invalid steps carry the
+        previous state unchanged.
+    initial_state:
+        Optional initial state (defaults to the cell's zero state).
+    scatter:
+        Optional :class:`ScanScatter` routing each step's output rows into
+        ``num_segments`` accumulators.
+
+    Returns
+    -------
+    (aggregated, final_state):
+        ``aggregated`` is the ``(num_segments, state_size)`` accumulator
+        (``None`` when ``scatter`` is ``None``); ``final_state`` is the
+        state after the last step.  Both are outputs of one joint autograd
+        node, so either or both may feed the downstream graph.
+    """
+    step_rows = np.asarray(step_rows, dtype=np.int64)
+    if step_rows.ndim != 2:
+        raise ValueError("step_rows must have shape (num_paths, num_steps)")
+    num_paths, num_steps = step_rows.shape
+    step_sources = np.asarray(step_sources, dtype=np.int64)
+    if step_sources.shape != (num_steps,):
+        raise ValueError(f"step_sources must have shape ({num_steps},)")
+    mask = np.asarray(mask)
+    if mask.shape != (num_paths, num_steps):
+        raise ValueError(f"mask shape {mask.shape} does not match {(num_paths, num_steps)}")
+    if scatter is not None and (len(scatter.rows) != num_steps
+                                or len(scatter.segment_ids) != num_steps):
+        raise ValueError("scatter spec must have one entry per scan step")
+
+    source_tensors = tuple(as_tensor(s) for s in sources)
+    state_tensor = initial_state if initial_state is not None \
+        else cell.initial_state(num_paths)
+    state = state_tensor.data
+    state_size = state.shape[1]
+    valid = mask > 0
+    fully_valid = valid.all(axis=0)
+
+    parameters = tuple(cell.parameters())
+    parents = source_tensors + (state_tensor,) + parameters
+    grad_needed = is_grad_enabled() and any(p.requires_grad for p in parents)
+
+    # The checkpoints: carried state *before* each step, stored as raw
+    # arrays (never mutated — every step produces fresh arrays).  Not
+    # retained at all for inference, so ``no_grad`` evaluation streams with
+    # O(paths·state) live memory.
+    checkpoints: Optional[List[np.ndarray]] = [] if grad_needed else None
+    aggregated = (np.zeros((scatter.num_segments, state_size), dtype=state.dtype)
+                  if scatter is not None else None)
+
+    with no_grad():
+        for step in range(num_steps):
+            if checkpoints is not None:
+                checkpoints.append(state)
+            rows = step_rows[:, step]
+            inputs = source_tensors[step_sources[step]].data[rows]
+            new_state = cell(Tensor(inputs), Tensor(state)).data
+            if fully_valid[step]:
+                state = new_state
+            else:
+                np.copyto(new_state, state, where=~valid[:, step][:, None])
+                state = new_state
+            if scatter is not None and scatter.rows[step] is not None:
+                np.add.at(aggregated, scatter.segment_ids[step],
+                          state[scatter.rows[step]])
+
+    final_state = state
+
+    if not grad_needed:
+        if scatter is None:
+            return None, Tensor(final_state)
+        return Tensor(aggregated), Tensor(final_state)
+
+    def joint_backward(grads: Tuple[Optional[np.ndarray], ...]) -> None:
+        if scatter is None:
+            aggregated_grad, final_grad = None, grads[0]
+        else:
+            aggregated_grad, final_grad = grads
+        if final_grad is not None:
+            state_grad = np.array(final_grad, dtype=final_state.dtype, copy=True)
+        else:
+            state_grad = np.zeros_like(final_state)
+
+        for step in reversed(range(num_steps)):
+            if (aggregated_grad is not None and scatter is not None
+                    and scatter.rows[step] is not None):
+                # Each valid path emits exactly one output row per step, so
+                # the rows are unique and a fancy-index += is exact.
+                state_grad[scatter.rows[step]] += \
+                    aggregated_grad[scatter.segment_ids[step]]
+
+            rows = step_rows[:, step]
+            source = source_tensors[step_sources[step]]
+            input_leaf = Tensor(source.data[rows], requires_grad=True)
+            previous_leaf = Tensor(checkpoints[step], requires_grad=True)
+            new_state = cell(input_leaf, previous_leaf)
+
+            if fully_valid[step]:
+                new_state.backward(state_grad)
+                carried = None
+            else:
+                valid_column = valid[:, step][:, None]
+                step_grad = _GRAD_BUFFER_POOL.take(state_grad.shape, state_grad.dtype)
+                np.multiply(state_grad, valid_column, out=step_grad)
+                new_state.backward(step_grad)
+                _GRAD_BUFFER_POOL.give(step_grad)
+                # The masked-out rows carry their gradient past this step.
+                np.multiply(state_grad, ~valid_column, out=state_grad)
+                carried = state_grad
+
+            if previous_leaf.grad is not None:
+                if carried is None:
+                    state_grad = previous_leaf.grad
+                else:
+                    carried += previous_leaf.grad
+                    state_grad = carried
+            elif carried is None:  # pragma: no cover - cells always use state
+                state_grad = np.zeros_like(state_grad)
+            if input_leaf.grad is not None:
+                source._scatter_accumulate(rows, input_leaf.grad)
+
+        state_tensor._accumulate(state_grad)
+
+    if scatter is None:
+        (final_out,) = make_multi_output([final_state], parents, joint_backward)
+        return None, final_out
+    aggregated_out, final_out = make_multi_output(
+        [aggregated, final_state], parents, joint_backward)
+    return aggregated_out, final_out

@@ -852,6 +852,53 @@ def gather_segment_sum(data: Tensor, item_index, segment_ids: np.ndarray,
     return Tensor._make(out_data, (data_t,), backward)
 
 
+def make_multi_output(outputs_data: Sequence[np.ndarray], parents: Sequence[Tensor],
+                      backward: Callable[[Tuple[Optional[np.ndarray], ...]], None]
+                      ) -> List[Tensor]:
+    """Create sibling output tensors that share one joint backward function.
+
+    Fused nodes like the checkpointed RNN scan produce several outputs (the
+    aggregated messages *and* the final state) whose backward pass must run
+    once, with the gradients of every output in hand.  The tape engine calls
+    one ``_backward`` per tensor, so the joint node is expressed through a
+    hidden scalar *anchor*: each output is a child of the anchor and merely
+    stashes its incoming gradient; the anchor — topologically ordered after
+    every output and before every parent — then invokes ``backward`` with the
+    tuple of stashed gradients (``None`` for outputs the loss never reached).
+
+    ``backward`` is responsible for accumulating into the parents itself
+    (e.g. via :meth:`Tensor._accumulate` / :meth:`Tensor._scatter_accumulate`);
+    the parents are declared only so ordering and ``requires_grad`` propagate
+    correctly.  When gradients are globally disabled or no parent requires
+    them, plain detached tensors are returned and ``backward`` is dropped.
+    """
+    parent_tensors = tuple(as_tensor(p) for p in parents)
+    requires = _GRAD_ENABLED and any(p.requires_grad for p in parent_tensors)
+    if not requires:
+        return [Tensor(data) for data in outputs_data]
+
+    stashed: List[Optional[np.ndarray]] = [None] * len(outputs_data)
+    anchor_dtype = np.asarray(outputs_data[0]).dtype
+
+    def anchor_backward(_grad: np.ndarray) -> None:
+        backward(tuple(stashed))
+
+    anchor = Tensor(np.zeros((), dtype=anchor_dtype), requires_grad=True,
+                    _parents=parent_tensors, _backward=anchor_backward)
+
+    outputs: List[Tensor] = []
+    for position, data in enumerate(outputs_data):
+        def stash(grad: np.ndarray, position: int = position) -> None:
+            stashed[position] = grad
+            # Poke the anchor so the engine fires ``anchor_backward`` even
+            # though no numerical gradient flows through it.
+            anchor._accumulate(np.zeros((), dtype=anchor_dtype))
+
+        outputs.append(Tensor(data, requires_grad=True, _parents=(anchor,),
+                              _backward=stash))
+    return outputs
+
+
 def segment_sum(data: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``data`` into ``num_segments`` buckets.
 

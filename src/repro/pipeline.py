@@ -75,6 +75,8 @@ def run_fig2_experiment(
     learning_rate: float = 0.003,
     batch_size: int = 1,
     dtype: Optional[str] = None,
+    scan_mode: str = "stream",
+    bucket_by_length: bool = True,
     seed: int = 0,
     backend: str = "analytic",
     utilization_range=(0.35, 0.8),
@@ -85,6 +87,11 @@ def run_fig2_experiment(
     run on a CPU in minutes; the comparison structure is identical.
     ``dtype`` selects the training precision ("float32" roughly halves the
     training memory footprint; ``None`` keeps the process default).
+    ``scan_mode`` picks the path-RNN formulation ("stream" — the
+    checkpointed scan that keeps peak memory flat on large merged graphs —
+    or "stacked" for the original materialised scan) and
+    ``bucket_by_length`` groups similar-length scenarios per merged batch
+    when ``batch_size > 1``.
     """
     train_topology = train_topology if train_topology is not None else geant2_topology()
     generalization_topology = (generalization_topology if generalization_topology is not None
@@ -116,10 +123,12 @@ def run_fig2_experiment(
         node_state_dim=state_dim,
         message_passing_iterations=message_passing_iterations,
         dtype=dtype,
+        scan_mode=scan_mode,
         seed=seed,
     )
     trainer_config = TrainerConfig(epochs=epochs, learning_rate=learning_rate,
-                                   batch_size=batch_size, dtype=dtype, seed=seed)
+                                   batch_size=batch_size, dtype=dtype,
+                                   bucket_by_length=bucket_by_length, seed=seed)
 
     cdfs: Dict[str, ErrorCDF] = {}
     metrics: Dict[str, Dict[str, object]] = {}

@@ -176,6 +176,62 @@ class TestMakeBatches:
             make_batches([], 2)
 
 
+class TestBucketedBatching:
+    """Length bucketing: deterministic membership, full coverage, less padding."""
+
+    def _ragged_tensorized(self):
+        """Scenarios from three topologies → three distinct max path lengths."""
+        samples = generate_dataset(ring_topology(5), DatasetConfig(num_samples=3, seed=0))
+        samples += generate_dataset(linear_topology(6),
+                                    DatasetConfig(num_samples=3, seed=1))
+        samples += generate_dataset(linear_topology(9),
+                                    DatasetConfig(num_samples=3, seed=2))
+        normalizer = FeatureNormalizer().fit(samples)
+        tensorized = [tensorize_sample(s, normalizer) for s in samples]
+        assert len({t.max_path_length for t in tensorized}) > 1
+        return tensorized
+
+    def test_every_sample_exactly_once(self):
+        """Each scenario lands in exactly one batch per epoch, shuffled or not."""
+        tensorized = self._ragged_tensorized()
+        for rng in (None, np.random.default_rng(3)):
+            batches = make_batches(tensorized, 4, rng=rng, bucket_by_length=True)
+            batched_targets = np.sort(np.concatenate([b.targets for b in batches]))
+            expected = np.sort(np.concatenate([t.targets for t in tensorized]))
+            np.testing.assert_allclose(batched_targets, expected)
+            assert sum(b.num_merged_samples for b in batches) == len(tensorized)
+
+    def test_membership_independent_of_rng(self):
+        """The rng permutes batch order only; batch contents are fixed."""
+        tensorized = self._ragged_tensorized()
+        reference = make_batches(tensorized, 4, bucket_by_length=True)
+        shuffled = make_batches(tensorized, 4, rng=np.random.default_rng(9),
+                                bucket_by_length=True)
+        reference_keys = {tuple(np.sort(b.targets)) for b in reference}
+        shuffled_keys = {tuple(np.sort(b.targets)) for b in shuffled}
+        assert reference_keys == shuffled_keys
+
+    def test_bucketing_reduces_padding(self):
+        """Grouping similar lengths shrinks the padded (masked-out) tail."""
+        tensorized = self._ragged_tensorized()
+
+        def padded_entries(batches):
+            return sum(b.sequence_mask.size - int((b.sequence_mask > 0).sum())
+                       for b in batches)
+
+        bucketed = make_batches(tensorized, 3, bucket_by_length=True)
+        # Worst-case mixing: interleave short and long scenarios.
+        order = np.argsort([t.max_path_length for t in tensorized], kind="stable")
+        interleaved = [tensorized[i] for i in np.concatenate(
+            [order[0::3], order[1::3], order[2::3]])]
+        mixed = make_batches(interleaved, 3)
+        assert padded_entries(bucketed) < padded_entries(mixed)
+        # Unshuffled bucketed batches partition the length-sorted order into
+        # contiguous runs, so their maximum lengths are non-decreasing.
+        maxima = [b.max_path_length for b in bucketed]
+        assert maxima == sorted(maxima)
+
+
 class TestAlternativeTargets:
     def test_tensorize_jitter_and_loss(self):
         samples, _ = _tensorized_list(1)

@@ -169,6 +169,62 @@ class TestBatchedFit:
         assert len(history.epochs) == 3
         assert np.isfinite(history.train_loss).all()
 
+    def test_bucketed_fit_premerges_batches_once(self, monkeypatch):
+        """With bucketing (the default) fit merges batches once, not per epoch."""
+        import repro.models.trainer as trainer_module
+
+        samples = generate_dataset(ring_topology(4), DatasetConfig(num_samples=6, seed=12))
+        calls = []
+        real_make_batches = trainer_module.make_batches
+
+        def counting_make_batches(*args, **kwargs):
+            calls.append(kwargs)
+            return real_make_batches(*args, **kwargs)
+
+        monkeypatch.setattr(trainer_module, "make_batches", counting_make_batches)
+        trainer = RouteNetTrainer(RouteNet(SMALL_CONFIG),
+                                  TrainerConfig(epochs=3, batch_size=2, seed=12))
+        history = trainer.fit(samples)
+        assert len(history.epochs) == 3
+        assert len(calls) == 1
+        assert calls[0].get("bucket_by_length") is True
+
+    def test_unbucketed_fit_remerges_every_epoch(self, monkeypatch):
+        """bucket_by_length=False restores the per-epoch shuffle-and-merge."""
+        import repro.models.trainer as trainer_module
+
+        samples = generate_dataset(ring_topology(4), DatasetConfig(num_samples=6, seed=13))
+        calls = []
+        real_make_batches = trainer_module.make_batches
+
+        def counting_make_batches(*args, **kwargs):
+            calls.append(kwargs)
+            return real_make_batches(*args, **kwargs)
+
+        monkeypatch.setattr(trainer_module, "make_batches", counting_make_batches)
+        trainer = RouteNetTrainer(RouteNet(SMALL_CONFIG),
+                                  TrainerConfig(epochs=3, batch_size=2,
+                                                bucket_by_length=False, seed=13))
+        trainer.fit(samples)
+        assert len(calls) == 3
+
+    def test_bucketed_epochs_cover_every_sample(self):
+        """Each pre-merged bucketed epoch steps over every scenario exactly once."""
+        samples = generate_dataset(ring_topology(4), DatasetConfig(num_samples=5, seed=14))
+        trainer = RouteNetTrainer(RouteNet(SMALL_CONFIG),
+                                  TrainerConfig(epochs=2, batch_size=2, seed=14))
+        stepped: list = []
+        original_train_step = trainer.train_step
+        trainer.train_step = lambda batch: (stepped.append(batch),
+                                            original_train_step(batch))[1]
+        trainer.fit(samples)
+        total_paths = sum(t.num_paths for t in trainer.prepare(samples))
+        batches_per_epoch = 3  # ceil(5 / 2)
+        assert len(stepped) == 2 * batches_per_epoch
+        for epoch_batches in (stepped[:batches_per_epoch], stepped[batches_per_epoch:]):
+            assert sum(b.num_merged_samples for b in epoch_batches) == len(samples)
+            assert sum(b.num_paths for b in epoch_batches) == total_paths
+
     def test_batch_size_one_matches_seed_behaviour(self):
         """batch_size=1 must reproduce the historical per-sample training.
 

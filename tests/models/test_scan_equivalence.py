@@ -1,0 +1,102 @@
+"""Streaming vs stacked scan: model-level equivalence properties.
+
+The ``scan_mode`` switch must be semantically invisible: for both RouteNet
+architectures, the streaming checkpointed scan has to reproduce the stacked
+formulation's predictions and every parameter gradient within rounding, in
+whichever precision the suite runs at — that is what licenses keeping only
+the streaming path on the training hot loop while the stacked path remains
+a gradcheck cross-validation reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    FeatureNormalizer,
+    generate_dataset,
+    tensorize_sample,
+)
+from repro.datasets.batching import merge_tensorized_samples
+from repro.models import ExtendedRouteNet, RouteNet, RouteNetConfig
+from repro.nn.losses import mse_loss
+from repro.nn.tensor import Tensor, no_grad
+
+from tests.support import float_tolerance
+
+BASE_CONFIG = RouteNetConfig(link_state_dim=6, path_state_dim=6, node_state_dim=6,
+                             message_passing_iterations=3, readout_hidden_sizes=(8,),
+                             seed=0)
+
+
+def _tensorized_mix(seed: int = 0):
+    """Ragged scenarios (two topologies) plus their merged disjoint union."""
+    from repro.topology import linear_topology, ring_topology
+
+    samples = generate_dataset(ring_topology(5), DatasetConfig(num_samples=2, seed=seed))
+    samples += generate_dataset(linear_topology(7),
+                                DatasetConfig(num_samples=2, seed=seed + 50))
+    normalizer = FeatureNormalizer().fit(samples)
+    tensorized = [tensorize_sample(s, normalizer) for s in samples]
+    return tensorized + [merge_tensorized_samples(tensorized)]
+
+
+@pytest.fixture(scope="module")
+def scenario_mix():
+    return _tensorized_mix()
+
+
+def _model_pair(model_cls):
+    stream = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode="stream"))
+    stacked = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode="stacked"))
+    return stream, stacked
+
+
+@pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
+class TestScanModeEquivalence:
+    def test_forward_matches(self, model_cls, scenario_mix):
+        stream, stacked = _model_pair(model_cls)
+        with no_grad():
+            for sample in scenario_mix:
+                np.testing.assert_allclose(
+                    stream(sample).data, stacked(sample).data,
+                    atol=float_tolerance(), rtol=float_tolerance(1e-9, 1e-4))
+
+    def test_gradients_match(self, model_cls, scenario_mix):
+        """Every parameter gradient of a training loss agrees across modes."""
+        stream, stacked = _model_pair(model_cls)
+        for sample in scenario_mix:
+            grads = {}
+            for label, model in (("stream", stream), ("stacked", stacked)):
+                model.zero_grad()
+                loss = mse_loss(model(sample), Tensor(sample.targets))
+                loss.backward()
+                grads[label] = {name: p.grad.copy()
+                                for name, p in model.named_parameters()}
+            for name, reference in grads["stacked"].items():
+                scale = max(1.0, float(np.abs(reference).max()))
+                np.testing.assert_allclose(
+                    grads["stream"][name] / scale, reference / scale,
+                    atol=float_tolerance(1e-8, 5e-3),
+                    err_msg=f"{model_cls.__name__}.{name}")
+
+    def test_predict_matches(self, model_cls, scenario_mix):
+        """Inference (the streaming no-checkpoint path) agrees too."""
+        stream, stacked = _model_pair(model_cls)
+        for sample in scenario_mix:
+            np.testing.assert_allclose(
+                stream.predict(sample), stacked.predict(sample),
+                atol=float_tolerance(), rtol=float_tolerance(1e-9, 1e-4))
+
+
+def test_scan_mode_validated():
+    with pytest.raises(ValueError):
+        RouteNetConfig(scan_mode="lazy")
+
+
+def test_default_scan_mode_is_streaming():
+    assert RouteNetConfig().scan_mode == "stream"
