@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import pathlib
 import time
 import tracemalloc
@@ -94,7 +95,7 @@ def training_samples():
 
 
 def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS,
-                  scan_mode: str = "stream"):
+                  scan_mode: str = "stream", num_workers: int = 1):
     model = ExtendedRouteNet(RouteNetConfig(
         link_state_dim=bench_scale["state_dim"],
         path_state_dim=bench_scale["state_dim"],
@@ -106,7 +107,7 @@ def _make_trainer(bench_scale, batch_size: int, dtype=None, epochs: int = EPOCHS
     ))
     return RouteNetTrainer(model, TrainerConfig(
         epochs=epochs, learning_rate=0.003, batch_size=batch_size,
-        dtype=dtype, seed=41))
+        dtype=dtype, num_workers=num_workers, seed=41))
 
 
 def _throughput(samples, batch_size: int, bench_scale, repetitions: int = 2,
@@ -325,6 +326,55 @@ def test_streaming_scan_large_graph(bench_scale):
 
     assert peak_ratio <= 0.6
     assert speed_ratio >= 0.9
+
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_parallel_worker_scaling(bench_scale):
+    """Data-parallel scaling: samples/sec at ``num_workers`` 1 / 2 / 4 on the
+    large-merged-graph config (the regime the ROADMAP flagged after PR 3:
+    the per-step Python loop, not memory, is the bottleneck).
+
+    Every row lands in ``BENCH_throughput.json``.  The scaling bar —
+    ≥ 1.2x samples/sec at 4 workers vs serial (the target is ≥ 1.5x; CI
+    asserts 1.2x to absorb shared-runner noise) — is only asserted when the
+    host actually has ≥ 4 CPUs; on fewer cores the workers time-share and
+    the rows are recorded for the run anyway.
+    """
+    dtype = "float64"
+    samples = generate_dataset(geant2_topology(),
+                               DatasetConfig(num_samples=8, seed=7,
+                                             small_queue_fraction=0.5))
+
+    def throughput(num_workers: int, repetitions: int = 2) -> float:
+        best = 0.0
+        for _ in range(repetitions):
+            trainer = _make_trainer(bench_scale, batch_size=2, dtype=dtype,
+                                    epochs=1, num_workers=num_workers)
+            start = time.perf_counter()
+            trainer.fit(samples)
+            best = max(best, len(samples) / (time.perf_counter() - start))
+        return best
+
+    cpus = os.cpu_count() or 1
+    results = {workers: throughput(workers) for workers in WORKER_COUNTS}
+    RESULTS["parallel_worker_scaling"] = {
+        "dtype": dtype, "scan_mode": "stream", "batch_size": 2,
+        "host_cpus": cpus,
+        "samples_per_sec": {str(w): results[w] for w in WORKER_COUNTS},
+        "speedup_vs_serial": {str(w): results[w] / results[1]
+                              for w in WORKER_COUNTS}}
+
+    print(f"\ndata-parallel scaling on ~1104-path merged batches ({cpus} CPUs)")
+    for workers in WORKER_COUNTS:
+        print(f"  num_workers={workers} : {results[workers]:8.2f} samples/s "
+              f"({results[workers] / results[1]:4.2f}x vs serial)")
+
+    assert all(value > 0 for value in results.values())
+    if cpus >= 4:
+        # Acceptance bar (CI floor; the local target is >= 1.5x).
+        assert results[4] >= 1.2 * results[1]
 
 
 def test_batched_step_equivalent_loss_scale(training_samples, bench_scale):

@@ -11,6 +11,7 @@ Installed as the ``repro-net`` console script::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -82,6 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="group scenarios of similar path length per merged "
                             "batch (shrinks padding; batches are merged once "
                             "and only reshuffled between epochs)")
+    train.add_argument("--num-workers", type=int, default=1,
+                       help="data-parallel worker processes: each optimisation "
+                            "step averages the gradients of up to this many "
+                            "batches (path-weighted) computed on model "
+                            "replicas; 1 keeps the serial loop")
+    train.add_argument("--checkpoint", default=None,
+                       help="trainer checkpoint path (.npz): resume from it "
+                            "when it exists and rewrite it (weights + "
+                            "optimizer moments + normalizer + history + RNG "
+                            "state) after every epoch, so interrupted runs "
+                            "resume from their last completed epoch; note "
+                            "each invocation trains --epochs further epochs "
+                            "on top of the restored state")
     train.add_argument("--state-dim", type=int, default=16)
     train.add_argument("--iterations", type=int, default=4)
     train.add_argument("--seed", type=int, default=0)
@@ -113,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--bucket-by-length", action=argparse.BooleanOptionalAction,
                       default=True,
                       help="bucket scenarios of similar path length per batch")
+    fig2.add_argument("--num-workers", type=int, default=1,
+                      help="data-parallel worker processes per training run "
+                           "(see 'train --num-workers')")
     fig2.add_argument("--state-dim", type=int, default=16)
     fig2.add_argument("--seed", type=int, default=0)
 
@@ -157,10 +174,21 @@ def _command_train(args: argparse.Namespace) -> int:
         model,
         TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                       batch_size=args.batch_size, dtype=args.dtype,
-                      bucket_by_length=args.bucket_by_length, seed=args.seed),
+                      bucket_by_length=args.bucket_by_length,
+                      num_workers=args.num_workers, seed=args.seed),
         normalizer=normalizer,
     )
-    history = trainer.fit(train_samples, val_samples=val_samples or None)
+    checkpoint = args.checkpoint
+    if checkpoint and not checkpoint.endswith(".npz"):
+        checkpoint = checkpoint + ".npz"
+    if checkpoint and os.path.exists(checkpoint):
+        trainer.load_checkpoint(checkpoint)
+        print(f"resumed from {checkpoint} at epoch "
+              f"{trainer.history.epochs[-1] if trainer.history.epochs else 0}")
+    history = trainer.fit(train_samples, val_samples=val_samples or None,
+                          checkpoint_path=checkpoint)
+    if checkpoint:
+        print(f"checkpoint at {checkpoint} covers epoch {history.epochs[-1]}")
     metadata = {
         "model": args.model,
         "epochs": len(history.epochs),
@@ -207,6 +235,7 @@ def _command_fig2(args: argparse.Namespace) -> int:
         dtype=args.dtype,
         scan_mode=args.scan_mode,
         bucket_by_length=args.bucket_by_length,
+        num_workers=args.num_workers,
         seed=args.seed,
     )
     print(result.report())

@@ -106,6 +106,21 @@ class TensorizedSample:
         offsets = self.path_offsets
         return [values[start:stop] for start, stop in zip(offsets[:-1], offsets[1:])]
 
+    def __getstate__(self) -> dict:
+        """Pickle without the memoised message-passing index.
+
+        The index (and the scan plans hanging off it) is derived data a
+        receiver can rebuild lazily; dropping it keeps the payload that the
+        data-parallel trainer ships to worker processes small and free of
+        anything but plain arrays.
+        """
+        state = dict(self.__dict__)
+        state["_index_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def copy(self) -> "TensorizedSample":
         """Return a deep copy whose arrays share no memory with this sample.
 

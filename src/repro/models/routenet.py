@@ -115,8 +115,11 @@ class RouteNet(Module):
         """Inference helper returning a NumPy array (no autograd graph)."""
         from repro.nn.tensor import no_grad
 
+        was_training = self.training
         self.eval()
-        with no_grad():
-            predictions = self.forward(sample)
-        self.train()
+        try:
+            with no_grad():
+                predictions = self.forward(sample)
+        finally:
+            self.train(was_training)
         return predictions.data.copy()

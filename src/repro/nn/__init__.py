@@ -70,6 +70,12 @@ from repro.nn.initializers import (
     normal_init,
     zeros_init,
 )
+from repro.nn.parallel import (
+    GradientWorkerPool,
+    SerialGradientExecutor,
+    make_gradient_executor,
+    path_weighted_average,
+)
 from repro.nn.serialization import load_parameters, save_parameters
 from repro.nn.training import EarlyStopping, History, Trainer, TrainingConfig
 
@@ -119,6 +125,10 @@ __all__ = [
     "he_normal",
     "normal_init",
     "zeros_init",
+    "GradientWorkerPool",
+    "SerialGradientExecutor",
+    "make_gradient_executor",
+    "path_weighted_average",
     "save_parameters",
     "load_parameters",
     "Trainer",

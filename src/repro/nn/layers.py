@@ -13,9 +13,20 @@ from repro.nn.tensor import Tensor, as_tensor
 
 __all__ = ["Dense", "Sequential", "Dropout", "LayerNorm", "Embedding", "MLP", "get_activation"]
 
+def identity(x: Tensor) -> Tensor:
+    """The linear / no-op activation.
+
+    A named module-level function (rather than a lambda) so modules that
+    store their resolved activation — and therefore whole models — stay
+    picklable, which the multiprocess data-parallel trainer relies on to
+    ship replicas to worker processes.
+    """
+    return x
+
+
 _ACTIVATIONS: dict = {
-    None: lambda x: x,
-    "linear": lambda x: x,
+    None: identity,
+    "linear": identity,
     "relu": F.relu,
     "tanh": F.tanh,
     "sigmoid": F.sigmoid,

@@ -84,6 +84,65 @@ class Module:
             param.zero_grad()
 
     # ------------------------------------------------------------------ #
+    # Flat parameter / gradient vectors
+    # ------------------------------------------------------------------ #
+    def parameters_vector(self) -> np.ndarray:
+        """Concatenate every parameter into one flat 1-D array (a copy).
+
+        The layout is the depth-first :meth:`named_parameters` order, which
+        is deterministic for a given architecture — the same order
+        :meth:`load_parameters_vector`, :meth:`gradients_vector` and
+        :meth:`load_gradients_vector` use, so a vector packed from one
+        replica of a model can be unpacked into another.  This is the wire
+        format of the data-parallel trainer (parameter broadcast / gradient
+        return, see :mod:`repro.nn.parallel`).
+        """
+        return np.concatenate([p.data.reshape(-1) for p in self.parameters()])
+
+    def load_parameters_vector(self, vector: np.ndarray) -> None:
+        """Unpack a flat vector from :meth:`parameters_vector` into the parameters."""
+        params = self.parameters()
+        vector = np.asarray(vector)
+        expected = sum(p.size for p in params)
+        if vector.ndim != 1 or vector.size != expected:
+            raise ValueError(
+                f"expected a flat vector of {expected} values, got shape {vector.shape}")
+        offset = 0
+        for p in params:
+            chunk = vector[offset:offset + p.size]
+            p.data = np.asarray(chunk, dtype=p.data.dtype).reshape(p.data.shape).copy()
+            offset += p.size
+
+    def gradients_vector(self) -> np.ndarray:
+        """Concatenate every parameter's gradient into one flat 1-D array.
+
+        Parameters whose gradient is ``None`` (not touched by the last
+        backward pass) contribute zeros, so the vector always has the same
+        layout as :meth:`parameters_vector`.
+        """
+        chunks = []
+        for p in self.parameters():
+            if p.grad is None:
+                chunks.append(np.zeros(p.size, dtype=p.data.dtype))
+            else:
+                chunks.append(np.asarray(p.grad).reshape(-1))
+        return np.concatenate(chunks)
+
+    def load_gradients_vector(self, vector: np.ndarray) -> None:
+        """Set every parameter's ``grad`` from a flat vector (layout as above)."""
+        params = self.parameters()
+        vector = np.asarray(vector)
+        expected = sum(p.size for p in params)
+        if vector.ndim != 1 or vector.size != expected:
+            raise ValueError(
+                f"expected a flat vector of {expected} values, got shape {vector.shape}")
+        offset = 0
+        for p in params:
+            chunk = vector[offset:offset + p.size]
+            p.grad = np.asarray(chunk, dtype=p.data.dtype).reshape(p.data.shape).copy()
+            offset += p.size
+
+    # ------------------------------------------------------------------ #
     # State dict (serialisation)
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, np.ndarray]:

@@ -124,10 +124,52 @@ class Optimizer:
         raise NotImplementedError
 
     def state_dict(self) -> Dict[str, object]:
-        return {"step_count": self.step_count}
+        """Return the full optimiser state: step count plus moment buffers.
+
+        Subclasses declare their per-parameter buffers via
+        :meth:`_buffer_names`; every buffer is copied, so mutating the
+        returned dictionary cannot corrupt the optimiser.
+        """
+        state: Dict[str, object] = {"step_count": self.step_count}
+        for name in self._buffer_names():
+            state[name] = [np.array(buffer, copy=True)
+                           for buffer in getattr(self, f"_{name}")]
+        return state
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state from :meth:`state_dict` output.
+
+        Moment buffers are shape-checked against the current parameters —
+        loading the state of an optimiser built over a different model (or a
+        truncated legacy state that only carried ``step_count``) raises
+        instead of silently resuming with zeroed moments, which would make
+        e.g. Adam's bias correction ``1/(1 - beta**step_count)`` wrong for
+        every freshly zeroed buffer.
+        """
         self.step_count = int(state.get("step_count", 0))
+        for name in self._buffer_names():
+            if name not in state:
+                raise KeyError(
+                    f"optimizer state is missing the '{name}' buffers; "
+                    "it was saved by an incompatible (or pre-fix) version")
+            buffers = list(state[name])
+            if len(buffers) != len(self.parameters):
+                raise ValueError(
+                    f"optimizer state has {len(buffers)} '{name}' buffers for "
+                    f"{len(self.parameters)} parameters")
+            restored = []
+            for buffer, param in zip(buffers, self.parameters):
+                array = np.asarray(buffer)
+                if array.shape != param.data.shape:
+                    raise ValueError(
+                        f"'{name}' buffer shape {array.shape} does not match "
+                        f"parameter shape {param.data.shape}")
+                restored.append(array.astype(param.data.dtype, copy=True))
+            setattr(self, f"_{name}", restored)
+
+    def _buffer_names(self) -> tuple:
+        """Names of per-parameter moment buffers (stored as ``_<name>`` lists)."""
+        return ()
 
 
 class SGD(Optimizer):
@@ -149,6 +191,9 @@ class Momentum(Optimizer):
         self.nesterov = nesterov
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _buffer_names(self) -> tuple:
+        return ("velocity",)
+
     def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
         velocity = self.momentum * self._velocity[index] - lr * grad
         self._velocity[index] = velocity
@@ -167,6 +212,9 @@ class RMSProp(Optimizer):
         self.rho = rho
         self.epsilon = epsilon
         self._mean_square = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _buffer_names(self) -> tuple:
+        return ("mean_square",)
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
         self._mean_square[index] = (
@@ -189,6 +237,9 @@ class Adam(Optimizer):
         self.epsilon = epsilon
         self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _buffer_names(self) -> tuple:
+        return ("first_moment", "second_moment")
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray, lr: float) -> None:
         self._first_moment[index] = self.beta1 * self._first_moment[index] + (1 - self.beta1) * grad

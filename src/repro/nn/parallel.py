@@ -1,0 +1,368 @@
+"""Multiprocess data-parallel gradient computation over merged batches.
+
+The per-step Python loop — building the autograd graph, running the RNN
+scan, the backward pass — is the training bottleneck once memory is under
+control (see ROADMAP).  This module parallelises it across batches with a
+persistent pool of worker *processes*: each worker holds a full model
+replica, the parent broadcasts the current parameters as one flat vector
+(:meth:`repro.nn.module.Module.parameters_vector`), every worker runs
+forward + backward on one merged batch of its cached shard and returns
+``(flat_gradient, loss, num_paths)``, and the parent path-weight-averages
+the gradients and takes a single optimiser step.
+
+Synchronous data-parallel semantics
+-----------------------------------
+One optimiser step consumes a *group* of up to ``num_workers`` batches; the
+group gradient is the **path-weighted average** of the per-batch gradients
+
+``g = sum_i(num_paths_i * g_i) / sum_i(num_paths_i)``
+
+— the same weighting :meth:`repro.models.trainer.RouteNetTrainer.evaluate_loss`
+applies to losses, so the group gradient equals the gradient of the mean
+per-path loss over all paths in the group, exactly as if the group had been
+merged into one giant disjoint-union batch.  The update rule therefore
+depends only on ``num_workers`` (the group size), not on which engine runs
+the members: :class:`SerialGradientExecutor` executes the identical
+semantics in-process, and the equivalence tests hold the two engines to
+bit-identical parameter trajectories.
+
+The pool ships each worker the *whole* list of batches once per upload —
+every worker holds a private copy, so worker-side memory is
+``num_workers x`` the batch arrays (cheap at our dataset scales; a
+worker-sharded upload would pin batch→worker assignment and lose the
+shuffled grouping).  Per step only the flat parameter vector and a batch
+index travel to each worker, and the flat gradient travels back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import traceback
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "GradientWorkerPool",
+    "SerialGradientExecutor",
+    "make_gradient_executor",
+    "path_weighted_average",
+]
+
+#: Result of one worker task: (flat gradient, scalar loss, paths in batch).
+GradientResult = Tuple[np.ndarray, float, int]
+
+
+def path_weighted_average(vectors: Sequence[np.ndarray],
+                          weights: Sequence[int]) -> np.ndarray:
+    """Average flat gradient vectors weighted by their batch's path count.
+
+    ``sum_i(w_i * v_i) / sum_i(w_i)`` with ``w_i`` the number of paths in
+    batch ``i`` — the weighting that makes a group of batches equivalent to
+    one merged batch containing all their paths (each per-batch loss is
+    already the *mean* over that batch's paths, so recombining means needs
+    the path counts back).  Matches the loss weighting of
+    ``RouteNetTrainer.evaluate_loss``.
+
+    A single-element group returns its vector unchanged (bit-exact with the
+    one-batch-per-step serial path).  The accumulation preserves the input
+    dtype: float32 gradients are averaged in float32.
+    """
+    if len(vectors) != len(weights):
+        raise ValueError("one weight per gradient vector is required")
+    if not vectors:
+        raise ValueError("cannot average an empty group of gradients")
+    if len(vectors) == 1:
+        return np.asarray(vectors[0])
+    total = float(sum(weights))
+    accumulated = np.zeros_like(np.asarray(vectors[0]))
+    for vector, weight in zip(vectors, weights):
+        accumulated += np.asarray(vector) * (float(weight) / total)
+    return accumulated
+
+
+def _compute_gradient(model: Module, batch, loss_name: str) -> GradientResult:
+    """Forward + backward on one batch; the single compute kernel every
+    execution engine (worker process or serial executor) runs, so their
+    results are bit-identical for identical parameters and batch."""
+    model.zero_grad()
+    predictions = model(batch)
+    targets = Tensor(np.asarray(batch.targets, dtype=predictions.data.dtype))
+    if loss_name == "huber":
+        loss = huber_loss(predictions, targets)
+    elif loss_name == "mse":
+        loss = mse_loss(predictions, targets)
+    else:
+        raise ValueError(f"unknown loss '{loss_name}'")
+    loss.backward()
+    return model.gradients_vector(), float(loss.item()), int(batch.num_paths)
+
+
+def _replicate(model: Module) -> Module:
+    """A fresh replica via a pickle round-trip (bit-identical parameters)."""
+    return pickle.loads(pickle.dumps(model))
+
+
+def _worker_main(conn, payload: bytes) -> None:
+    """Worker process loop: cache batches, answer gradient requests.
+
+    Protocol (parent → worker):
+      ``("batches", [TensorizedSample, ...])``  replace the cached shard;
+      ``("step", flat_params, batch_index)``    load parameters, compute;
+      ``("close",)``                            exit.
+    Replies: ``("ok", ...)`` or ``("error", traceback_string)``.
+    """
+    try:
+        model, loss_name = pickle.loads(payload)
+    except Exception:  # noqa: BLE001 - report the failure instead of dying mute
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok",))
+    batches: list = []
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batches":
+                batches = list(message[1])
+                conn.send(("ok", len(batches)))
+            elif kind == "step":
+                try:
+                    _, flat_params, batch_index = message
+                    model.load_parameters_vector(flat_params)
+                    result = _compute_gradient(model, batches[batch_index], loss_name)
+                    conn.send(("ok",) + result)
+                except Exception:  # noqa: BLE001 - ship the traceback to the parent
+                    conn.send(("error", traceback.format_exc()))
+            elif kind == "close":
+                break
+            else:
+                conn.send(("error", f"unknown message kind {kind!r}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ExecutorBase:
+    """Shared batch-upload bookkeeping for both execution engines."""
+
+    def __init__(self) -> None:
+        self._uploaded_ids: Optional[tuple] = None
+
+    def set_batches(self, batches: Sequence) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def ensure_batches(self, batches: Sequence) -> None:
+        """Upload ``batches`` unless the identical list is already cached.
+
+        Identity (not equality) is the right key: pre-merged static batches
+        are the same objects every epoch, so the upload happens once per
+        ``fit``; per-epoch re-merged batches are fresh objects and re-upload.
+        """
+        ids = tuple(id(batch) for batch in batches)
+        if ids != self._uploaded_ids:
+            self.set_batches(batches)
+            self._uploaded_ids = ids
+
+    def run_group(self, flat_params: np.ndarray,
+                  indices: Sequence[int]) -> List[GradientResult]:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SerialGradientExecutor(_ExecutorBase):
+    """In-process engine with the exact semantics of :class:`GradientWorkerPool`.
+
+    Runs every group member sequentially on a pickle-round-tripped replica —
+    no processes, no IPC — so ``num_workers > 1`` training can be executed
+    (and debugged, and tested for bit-exact equivalence) on a single core.
+    """
+
+    def __init__(self, model: Module, num_workers: int = 1, loss: str = "mse") -> None:
+        super().__init__()
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self._loss_name = loss
+        self._replica = _replicate(model)
+        self._batches: list = []
+
+    def set_batches(self, batches: Sequence) -> None:
+        self._batches = list(batches)
+
+    def run_group(self, flat_params: np.ndarray,
+                  indices: Sequence[int]) -> List[GradientResult]:
+        results = []
+        for index in indices:
+            self._replica.load_parameters_vector(flat_params)
+            results.append(_compute_gradient(self._replica, self._batches[index],
+                                             self._loss_name))
+        return results
+
+    def close(self) -> None:
+        self._batches = []
+
+
+class GradientWorkerPool(_ExecutorBase):
+    """A persistent pool of worker processes computing per-batch gradients.
+
+    Each worker is started once with a pickled replica of ``model`` and kept
+    alive for the executor's lifetime; :meth:`run_group` then costs one
+    parameter broadcast and one gradient return per member.  Workers cache
+    the uploaded batch list, so batch payloads do not travel per step.
+
+    Parameters
+    ----------
+    model:
+        The module whose replicas the workers hold.  Must be picklable
+        (every model in :mod:`repro.models` is).
+    num_workers:
+        Number of worker processes (≥ 1).
+    loss:
+        ``"mse"`` or ``"huber"`` — must match the trainer's loss.
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where available
+        (near-instant worker start) falling back to ``"spawn"``.
+    """
+
+    def __init__(self, model: Module, num_workers: int = 1, loss: str = "mse",
+                 start_method: Optional[str] = None) -> None:
+        super().__init__()
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        if start_method is None:
+            available = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        context = mp.get_context(start_method)
+        payload = pickle.dumps((model, loss))
+        self._connections = []
+        self._processes = []
+        try:
+            for _ in range(num_workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(target=_worker_main,
+                                          args=(child_conn, payload), daemon=True)
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for rank in range(num_workers):
+                self._expect_ok(rank)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    def _send(self, rank: int, message) -> None:
+        try:
+            self._connections[rank].send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise RuntimeError(
+                f"gradient worker {rank} died unexpectedly ({error!r}); "
+                "its process may have been killed (e.g. by the OOM killer)") from error
+
+    def _receive(self, rank: int):
+        try:
+            reply = self._connections[rank].recv()
+        except (EOFError, OSError) as error:
+            raise RuntimeError(
+                f"gradient worker {rank} died unexpectedly ({error!r}); "
+                "its process may have been killed (e.g. by the OOM killer)") from error
+        if reply[0] == "error":
+            raise RuntimeError(f"gradient worker {rank} failed:\n{reply[1]}")
+        return reply
+
+    def _expect_ok(self, rank: int):
+        reply = self._receive(rank)
+        if reply[0] != "ok":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected reply from worker {rank}: {reply[0]!r}")
+        return reply
+
+    # ------------------------------------------------------------------ #
+    def set_batches(self, batches: Sequence) -> None:
+        """Broadcast the batch list to every worker (replacing its cache)."""
+        for rank in range(self.num_workers):
+            self._send(rank, ("batches", list(batches)))
+        for rank in range(self.num_workers):
+            self._expect_ok(rank)
+
+    def run_group(self, flat_params: np.ndarray,
+                  indices: Sequence[int]) -> List[GradientResult]:
+        """Compute gradients for ``indices`` (one batch per worker, round-robin).
+
+        Results come back in ``indices`` order regardless of which worker
+        finishes first, so downstream averaging is deterministic.
+        """
+        indices = list(indices)
+        for position, batch_index in enumerate(indices):
+            rank = position % self.num_workers
+            self._send(rank, ("step", flat_params, batch_index))
+        results: List[GradientResult] = []
+        for position in range(len(indices)):
+            rank = position % self.num_workers
+            reply = self._expect_ok(rank)
+            results.append((reply[1], reply[2], reply[3]))
+        return results
+
+    def close(self) -> None:
+        """Shut the workers down (best effort, safe to call repeatedly)."""
+        for connection in self._connections:
+            try:
+                connection.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self._connections = []
+        self._processes = []
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def make_gradient_executor(model: Module, num_workers: int, loss: str = "mse",
+                           backend: str = "process",
+                           start_method: Optional[str] = None):
+    """Build the gradient execution engine for data-parallel training.
+
+    ``backend="process"`` returns a :class:`GradientWorkerPool`;
+    ``backend="serial"`` returns a :class:`SerialGradientExecutor` with
+    identical update semantics (useful on single-core machines and for the
+    bit-exact process-vs-serial equivalence tests).
+    """
+    if backend == "process":
+        return GradientWorkerPool(model, num_workers, loss=loss,
+                                  start_method=start_method)
+    if backend == "serial":
+        return SerialGradientExecutor(model, num_workers, loss=loss)
+    raise ValueError(f"unknown parallel backend '{backend}' (use 'process' or 'serial')")

@@ -144,15 +144,23 @@ class Trainer:
         return float(loss.item())
 
     def evaluate(self, items: Sequence) -> float:
-        """Average loss over ``items`` without updating parameters."""
+        """Average loss over ``items`` without updating parameters.
+
+        The model's train/eval mode is restored to whatever it was before
+        the call (evaluating an eval-mode model must not flip it back to
+        training mode behind the caller's back).
+        """
+        was_training = self.model.training
         self.model.eval()
         losses = []
         from repro.nn.tensor import no_grad
 
-        with no_grad():
-            for item in items:
-                losses.append(float(self.loss_fn(self.model, item).item()))
-        self.model.train()
+        try:
+            with no_grad():
+                for item in items:
+                    losses.append(float(self.loss_fn(self.model, item).item()))
+        finally:
+            self.model.train(was_training)
         if not losses:
             raise ValueError("evaluate() requires at least one item")
         return float(np.mean(losses))

@@ -77,6 +77,7 @@ def run_fig2_experiment(
     dtype: Optional[str] = None,
     scan_mode: str = "stream",
     bucket_by_length: bool = True,
+    num_workers: int = 1,
     seed: int = 0,
     backend: str = "analytic",
     utilization_range=(0.35, 0.8),
@@ -91,7 +92,9 @@ def run_fig2_experiment(
     checkpointed scan that keeps peak memory flat on large merged graphs —
     or "stacked" for the original materialised scan) and
     ``bucket_by_length`` groups similar-length scenarios per merged batch
-    when ``batch_size > 1``.
+    when ``batch_size > 1``.  ``num_workers > 1`` trains data-parallel: each
+    optimisation step path-weight-averages the gradients of up to that many
+    batches computed concurrently on worker-process model replicas.
     """
     train_topology = train_topology if train_topology is not None else geant2_topology()
     generalization_topology = (generalization_topology if generalization_topology is not None
@@ -128,7 +131,8 @@ def run_fig2_experiment(
     )
     trainer_config = TrainerConfig(epochs=epochs, learning_rate=learning_rate,
                                    batch_size=batch_size, dtype=dtype,
-                                   bucket_by_length=bucket_by_length, seed=seed)
+                                   bucket_by_length=bucket_by_length,
+                                   num_workers=num_workers, seed=seed)
 
     cdfs: Dict[str, ErrorCDF] = {}
     metrics: Dict[str, Dict[str, object]] = {}

@@ -362,3 +362,121 @@ class TestModuleBasics:
 
 
 from repro.nn.layers import Dropout  # noqa: E402  (used in TestModuleBasics)
+
+
+class TestOptimizerStateDict:
+    """The optimiser state must round-trip its moment buffers, not just the
+    step count — resuming Adam with zeroed moments applies the bias
+    correction 1/(1 - beta**step_count) to the wrong statistics."""
+
+    @pytest.mark.parametrize("optimizer_cls,buffer_names", [
+        (SGD, ()),
+        (Momentum, ("velocity",)),
+        (RMSProp, ("mean_square",)),
+        (Adam, ("first_moment", "second_moment")),
+    ])
+    def test_state_round_trip_restores_buffers(self, optimizer_cls, buffer_names):
+        model = Quadratic()
+        optimizer = optimizer_cls(model.parameters(), learning_rate=0.05)
+        for _ in range(5):
+            optimizer.zero_grad()
+            model.loss().backward()
+            optimizer.step()
+        state = optimizer.state_dict()
+        assert state["step_count"] == 5
+        for name in buffer_names:
+            assert name in state
+            assert any(np.abs(buffer).max() > 0 for buffer in state[name])
+
+        fresh_model = Quadratic()
+        fresh = optimizer_cls(fresh_model.parameters(), learning_rate=0.05)
+        fresh.load_state_dict(state)
+        assert fresh.step_count == 5
+        for name in buffer_names:
+            for restored, original in zip(getattr(fresh, f"_{name}"),
+                                          getattr(optimizer, f"_{name}")):
+                assert np.array_equal(restored, original)
+
+    def test_state_dict_is_a_copy(self):
+        model = Quadratic()
+        optimizer = Adam(model.parameters(), learning_rate=0.05)
+        optimizer.zero_grad()
+        model.loss().backward()
+        optimizer.step()
+        state = optimizer.state_dict()
+        state["first_moment"][0][...] = 123.0
+        assert np.abs(optimizer._first_moment[0]).max() < 100
+
+    def test_resumed_adam_matches_uninterrupted_run(self):
+        def run(steps, optimizer=None, model=None):
+            model = model if model is not None else Quadratic()
+            optimizer = optimizer if optimizer is not None else Adam(
+                model.parameters(), learning_rate=0.1)
+            for _ in range(steps):
+                optimizer.zero_grad()
+                model.loss().backward()
+                optimizer.step()
+            return model, optimizer
+
+        straight_model, _ = run(10)
+        half_model, half_optimizer = run(5)
+        state = half_optimizer.state_dict()
+        resumed_model = Quadratic()
+        resumed_model.load_state_dict(half_model.state_dict())
+        resumed_optimizer = Adam(resumed_model.parameters(), learning_rate=0.1)
+        resumed_optimizer.load_state_dict(state)
+        run(5, optimizer=resumed_optimizer, model=resumed_model)
+        assert np.array_equal(resumed_model.w.data, straight_model.w.data)
+
+    def test_missing_buffers_raise(self):
+        model = Quadratic()
+        optimizer = Adam(model.parameters())
+        with pytest.raises(KeyError, match="first_moment"):
+            optimizer.load_state_dict({"step_count": 3})
+
+    def test_shape_mismatch_raises(self):
+        small = Quadratic(dim=2)
+        large = Quadratic(dim=4)
+        source = Momentum(large.parameters(), learning_rate=0.05)
+        source.zero_grad()
+        large.loss().backward()
+        source.step()
+        target = Momentum(small.parameters(), learning_rate=0.05)
+        with pytest.raises(ValueError, match="shape"):
+            target.load_state_dict(source.state_dict())
+
+    def test_buffer_count_mismatch_raises(self):
+        model = Quadratic()
+        optimizer = Momentum(model.parameters(), learning_rate=0.05)
+        state = optimizer.state_dict()
+        state["velocity"] = state["velocity"] + [np.zeros(4)]
+        with pytest.raises(ValueError, match="buffers"):
+            optimizer.load_state_dict(state)
+
+
+class TestEvaluateModeRestore:
+    """Trainer.evaluate must restore the model's prior train/eval mode."""
+
+    @staticmethod
+    def _trainer():
+        model = Dense(2, 1, rng=np.random.default_rng(3))
+        optimizer = SGD(model.parameters(), learning_rate=0.01)
+
+        def loss_fn(m, item):
+            x, y = item
+            return ((m(Tensor(x)) - Tensor(y)) ** 2).sum()
+
+        items = [(np.ones((1, 2)), np.zeros((1, 1)))]
+        return Trainer(model, optimizer, loss_fn), items
+
+    def test_training_model_returns_to_training(self):
+        trainer, items = self._trainer()
+        trainer.model.train()
+        trainer.evaluate(items)
+        assert trainer.model.training
+
+    def test_eval_model_stays_in_eval(self):
+        trainer, items = self._trainer()
+        trainer.model.eval()
+        trainer.evaluate(items)
+        assert not trainer.model.training
