@@ -1,0 +1,256 @@
+"""Out-of-core training throughput: streamed epochs and overlapped broadcast.
+
+Two acceptance bars from the sharded-dataset / prefetch / overlap PR, both
+measured on the 1104-path large-merged-graph regime (GEANT2 scenarios at
+batch_size 2 — the configuration the streaming scan benchmark established)
+and recorded in ``BENCH_throughput.json``:
+
+* ``streaming_vs_inmemory`` — training straight from a sharded store
+  through the :class:`~repro.datasets.prefetch.BatchPrefetcher` (small
+  bucketing window, prefetch_depth 1) must hold peak tracemalloc to
+  **≤ 0.5x** the in-memory path — which tensorises and pre-merges the whole
+  dataset — while keeping **≥ 0.9x** its samples/sec (the per-epoch shard
+  re-parse stays a small fraction of the model compute).  Speed is measured
+  on untracked runs (tracemalloc adds a large, GIL-contended overhead to
+  the prefetch thread that would distort the comparison), and **every
+  measured fit runs in a freshly spawned subprocess**: the two arms have
+  different allocation patterns (main-thread-only vs producer-thread), and
+  heap/arena state left behind by earlier tests in the same process was
+  observed to swing the ratio by ±10% — far more than the ~3-5% pipeline
+  overhead being measured.  A pristine interpreter per fit makes the
+  comparison order-independent.
+
+* ``overlap_broadcast`` — double-buffered parameter broadcast
+  (``TrainerConfig.overlap``) at 4 workers: the parent pipelines its
+  optimiser step, epoch bookkeeping, validation pass and checkpoint write
+  behind the workers' compute.  Final parameters must be **bit-identical**
+  to the non-overlapped run on every host; the ≥ 1.1x samples/sec bar is
+  asserted on hosts with ≥ 4 CPUs (fewer cores time-share the workers and
+  the ratio is recorded but not asserted).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import pathlib
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    FeatureNormalizer,
+    generate_dataset,
+    save_dataset,
+)
+from repro.models import ExtendedRouteNet, RouteNetConfig, RouteNetTrainer, TrainerConfig
+from repro.topology import geant2_topology
+
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+
+NUM_SAMPLES = 96        # streamed dataset size (96 scenarios ≈ 53k paths);
+                        # long-enough fits that scheduler noise averages out
+BATCH_SIZE = 2          # 2 GEANT2 scenarios -> 1104-path merged batches
+DTYPE = "float32"
+STATE_DIM = 20          # model compute heavy enough that the per-epoch
+                        # shard re-parse is a small fraction of a fit
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Merge this module's rows into the repo-root JSON (read-update-write,
+    like the batched-training benchmark, so partial runs keep other rows)."""
+    yield
+    merged: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged.update(RESULTS)
+    BENCH_JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def large_graph_samples():
+    return generate_dataset(geant2_topology(),
+                            DatasetConfig(num_samples=NUM_SAMPLES, seed=7,
+                                          small_queue_fraction=0.5))
+
+
+@pytest.fixture(scope="module")
+def fitted_normalizer(large_graph_samples):
+    return FeatureNormalizer().fit(large_graph_samples)
+
+
+@pytest.fixture(scope="module")
+def sharded_store(large_graph_samples, fitted_normalizer, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("bench-dataset") / "store")
+    return save_dataset(large_graph_samples, path, normalizer=fitted_normalizer,
+                        shards=4)
+
+
+def _make_trainer(bench_scale, fitted_normalizer, **config):
+    model = ExtendedRouteNet(RouteNetConfig(
+        link_state_dim=STATE_DIM,
+        path_state_dim=STATE_DIM,
+        node_state_dim=STATE_DIM,
+        message_passing_iterations=bench_scale["iterations"],
+        seed=41, dtype=DTYPE))
+    defaults = dict(epochs=1, batch_size=BATCH_SIZE, dtype=DTYPE, seed=41)
+    defaults.update(config)
+    return RouteNetTrainer(
+        model, TrainerConfig(**defaults),
+        normalizer=FeatureNormalizer.from_dict(fitted_normalizer.to_dict()))
+
+
+def _isolated_fit(conn, store: str, iterations: int, streamed: bool,
+                  tracked: bool, streaming_config: dict) -> None:
+    """One measured fit in a pristine interpreter (spawned subprocess).
+
+    Both arms read their data from the sharded store on disk — the
+    in-memory arm materialises it with ``load_dataset`` (untimed, like a
+    dataset already resident before training), the streamed arm hands the
+    path to ``fit``.  Sends ``(samples_per_sec, peak_bytes,
+    peak_live_batches)`` back through ``conn``.
+    """
+    from repro.datasets import load_dataset
+    from repro.datasets.sharded import ShardedDatasetReader
+
+    reader = ShardedDatasetReader(store)
+    normalizer = reader.normalizer
+    bench_scale = {"iterations": iterations}
+    trainer = _make_trainer(bench_scale, normalizer,
+                            **(streaming_config if streamed else {}))
+    samples = None
+    if not streamed:
+        samples, _, _ = load_dataset(store)
+    if tracked:
+        tracemalloc.start()
+    start = time.perf_counter()
+    if streamed:
+        trainer.fit(dataset_path=store)
+    else:
+        trainer.fit(samples)
+    elapsed = time.perf_counter() - start
+    peak = 0
+    if tracked:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    conn.send((NUM_SAMPLES / elapsed, peak,
+               trainer.history.peak_live_batches[-1]))
+    conn.close()
+
+
+def test_streaming_vs_inmemory(fitted_normalizer, sharded_store, bench_scale):
+    """Tentpole acceptance: a streamed epoch over the sharded store must cut
+    peak tracemalloc to ≤ 0.5x the in-memory fit at ≥ 0.9x its samples/sec
+    on the 1104-path merged-batch dataset."""
+    streaming_config = dict(stream_window=2, prefetch_depth=1)
+    context = mp.get_context("spawn")
+
+    def run_fit(streamed: bool, tracked: bool):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_isolated_fit,
+            args=(child_conn, sharded_store, bench_scale["iterations"],
+                  streamed, tracked, streaming_config))
+        process.start()
+        child_conn.close()
+        result = parent_conn.recv()
+        process.join()
+        parent_conn.close()
+        return result
+
+    # Each repetition measures the two arms back to back and contributes one
+    # pairwise ratio; the reported ratio is the median over repetitions
+    # (robust to one slow/hot repetition on a drifting host).
+    memory_speeds, stream_speeds, ratios = [], [], []
+    live_memory = live_stream = 0
+    for _ in range(3):
+        speed_memory, _, live_memory = run_fit(streamed=False, tracked=False)
+        speed_stream, _, live_stream = run_fit(streamed=True, tracked=False)
+        memory_speeds.append(speed_memory)
+        stream_speeds.append(speed_stream)
+        ratios.append(speed_stream / speed_memory)
+    speed_memory = float(np.median(memory_speeds))
+    speed_stream = float(np.median(stream_speeds))
+    speed_ratio = float(np.median(ratios))
+    _, peak_memory, _ = run_fit(streamed=False, tracked=True)
+    _, peak_stream, _ = run_fit(streamed=True, tracked=True)
+    peak_ratio = peak_stream / peak_memory
+    RESULTS["streaming_vs_inmemory"] = {
+        "num_samples": NUM_SAMPLES, "batch_size": BATCH_SIZE, "dtype": DTYPE,
+        "merged_paths_per_batch": 1104,
+        "stream_window": streaming_config["stream_window"],
+        "prefetch_depth": streaming_config["prefetch_depth"],
+        "samples_per_sec": {"in_memory": speed_memory, "streamed": speed_stream},
+        "peak_bytes": {"in_memory": peak_memory, "streamed": peak_stream},
+        "peak_live_batches": {"in_memory": live_memory, "streamed": live_stream},
+        "speed_ratio": speed_ratio, "peak_ratio": peak_ratio}
+
+    print(f"\nstreamed vs in-memory training on {NUM_SAMPLES} GEANT2 scenarios "
+          f"({DTYPE}, 1104-path merged batches)")
+    print(f"  in-memory: {speed_memory:7.2f} samples/s   "
+          f"peak {peak_memory / 1e6:7.2f} MB   {live_memory} live batches")
+    print(f"  streamed : {speed_stream:7.2f} samples/s   "
+          f"peak {peak_stream / 1e6:7.2f} MB   {live_stream} live batches")
+    print(f"  ratios   : speed {speed_ratio:.3f}x (bar ≥ 0.9), "
+          f"peak {peak_ratio:.3f}x (bar ≤ 0.5)")
+
+    # The streamed epoch must hold a bounded number of merged batches.
+    assert live_stream < live_memory
+    assert peak_ratio <= 0.5
+    assert speed_ratio >= 0.9
+
+
+def test_overlap_broadcast(large_graph_samples, fitted_normalizer, bench_scale,
+                           tmp_path):
+    """Double-buffered overlap at 4 workers: bit-identical parameters on any
+    host; ≥ 1.1x samples/sec asserted when the host has ≥ 4 CPUs."""
+    train = large_graph_samples[:12]
+    val = large_graph_samples[12:16]
+    epochs = 2
+
+    def run_fit(overlap: bool):
+        trainer = _make_trainer(bench_scale, fitted_normalizer, epochs=epochs,
+                                num_workers=4, overlap=overlap)
+        checkpoint = str(tmp_path / f"ck-{overlap}")
+        start = time.perf_counter()
+        trainer.fit(train, val_samples=val, checkpoint_path=checkpoint)
+        elapsed = time.perf_counter() - start
+        return epochs * len(train) / elapsed, trainer.model.parameters_vector()
+
+    # Best-of-2 per arm for the timing; the parameter vectors are
+    # deterministic across repetitions, so any pair compares.
+    speed_plain, params_plain = run_fit(overlap=False)
+    speed_overlap, params_overlap = run_fit(overlap=True)
+    speed_plain = max(speed_plain, run_fit(overlap=False)[0])
+    speed_overlap = max(speed_overlap, run_fit(overlap=True)[0])
+    cpus = os.cpu_count() or 1
+    speedup = speed_overlap / speed_plain
+    RESULTS["overlap_broadcast"] = {
+        "num_workers": 4, "batch_size": BATCH_SIZE, "dtype": DTYPE,
+        "host_cpus": cpus, "epochs": epochs,
+        "with_validation_and_checkpoint": True,
+        "samples_per_sec": {"plain": speed_plain, "overlap": speed_overlap},
+        "speedup": speedup,
+        "bit_identical_parameters": bool(np.array_equal(params_plain,
+                                                        params_overlap))}
+
+    print(f"\noverlapped vs plain data-parallel training "
+          f"(4 workers, {cpus} CPUs, val + per-epoch checkpoint)")
+    print(f"  plain  : {speed_plain:7.2f} samples/s")
+    print(f"  overlap: {speed_overlap:7.2f} samples/s ({speedup:.3f}x, "
+          f"bar ≥ 1.1 on ≥4-CPU hosts)")
+
+    # Overlap must never change the computation, only its schedule.
+    assert np.array_equal(params_plain, params_overlap)
+    if cpus >= 4:
+        assert speedup >= 1.1

@@ -19,6 +19,12 @@ import numpy as np
 
 from repro.datasets.generator import DatasetConfig, generate_dataset
 from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sharded import (
+    ShardedDatasetReader,
+    ShardedDatasetWriter,
+    attach_normalizer,
+    shard_size_for,
+)
 from repro.datasets.splits import train_val_test_split
 from repro.datasets.storage import load_dataset, save_dataset
 from repro.models.config import RouteNetConfig
@@ -60,7 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--random-nodes", type=int, default=12,
                           help="node count when --topology random")
-    generate.add_argument("--output", required=True, help="output dataset path (.json.gz)")
+    generate.add_argument("--dataset-shards", type=int, default=None,
+                          help="write a sharded store directory of this many "
+                               "gzipped JSONL shards instead of one .json.gz "
+                               "blob: samples stream straight to disk during "
+                               "generation (O(1) live samples), and 'train "
+                               "--prefetch-depth' can later stream epochs out "
+                               "of it without loading the dataset")
+    generate.add_argument("--output", required=True,
+                          help="output dataset path (.json.gz, or a store "
+                               "directory with --dataset-shards)")
 
     train = subparsers.add_parser("train", help="train a model on a dataset")
     train.add_argument("--dataset", required=True)
@@ -88,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "step averages the gradients of up to this many "
                             "batches (path-weighted) computed on model "
                             "replicas; 1 keeps the serial loop")
+    train.add_argument("--overlap", action="store_true",
+                       help="with --num-workers > 1: double-buffered parameter "
+                            "broadcast — the parent submits the next group and "
+                            "runs its optimiser/validation/checkpoint work "
+                            "while the workers compute (bit-identical results)")
+    train.add_argument("--prefetch-depth", type=int, default=None,
+                       help="out-of-core training: --dataset must be a sharded "
+                            "store ('generate --dataset-shards'); epochs are "
+                            "streamed through a prefetch pipeline holding at "
+                            "most this many merged batches ahead instead of "
+                            "the whole tensorised dataset (trains on the full "
+                            "store; no held-out split)")
     train.add_argument("--checkpoint", default=None,
                        help="trainer checkpoint path (.npz): resume from it "
                             "when it exists and rewrite it (weights + "
@@ -130,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--num-workers", type=int, default=1,
                       help="data-parallel worker processes per training run "
                            "(see 'train --num-workers')")
+    fig2.add_argument("--overlap", action="store_true",
+                      help="pipeline the optimiser step with the next group's "
+                           "worker compute (see 'train --overlap')")
     fig2.add_argument("--state-dim", type=int, default=16)
     fig2.add_argument("--seed", type=int, default=0)
 
@@ -147,11 +177,26 @@ def _command_generate(args: argparse.Namespace) -> int:
     config = DatasetConfig(num_samples=args.samples,
                            small_queue_fraction=args.small_queue_fraction,
                            backend=args.backend, seed=args.seed)
+    metadata = {"topology": topology.name, "samples": args.samples,
+                "backend": args.backend, "seed": args.seed}
+    if args.dataset_shards is not None:
+        # Out-of-core generation: samples stream straight to the sharded
+        # store (never held as a list), then the normaliser is fitted by
+        # streaming the store back — two passes, O(1) live samples.
+        with ShardedDatasetWriter(args.output,
+                                  shard_size=shard_size_for(args.samples,
+                                                            args.dataset_shards),
+                                  metadata=metadata) as writer:
+            count = generate_dataset(topology, config, writer=writer)
+        reader = ShardedDatasetReader(args.output)
+        attach_normalizer(args.output, FeatureNormalizer().fit(reader))
+        print(f"wrote {count} samples to {args.output} "
+              f"({reader.num_shards} shards)")
+        return 0
     samples = generate_dataset(topology, config)
     normalizer = FeatureNormalizer().fit(samples)
     path = save_dataset(samples, args.output, normalizer=normalizer,
-                        metadata={"topology": topology.name, "samples": args.samples,
-                                  "backend": args.backend, "seed": args.seed})
+                        metadata=metadata)
     print(f"wrote {len(samples)} samples to {path}")
     return 0
 
@@ -166,8 +211,18 @@ def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0,
 
 
 def _command_train(args: argparse.Namespace) -> int:
-    samples, normalizer, _ = load_dataset(args.dataset)
-    train_samples, val_samples, _ = train_val_test_split(samples, 0.8, 0.1, seed=args.seed)
+    streaming = args.prefetch_depth is not None
+    if streaming:
+        # Out-of-core path: the sharded store is streamed epoch by epoch
+        # (normaliser from its manifest); the whole store is the training
+        # set — held-out splits of a larger-than-RAM dataset are a dataset-
+        # generation concern, not a slicing one.
+        normalizer = None
+        train_samples = val_samples = None
+    else:
+        samples, normalizer, _ = load_dataset(args.dataset)
+        train_samples, val_samples, _ = train_val_test_split(samples, 0.8, 0.1,
+                                                             seed=args.seed)
     model = _build_model(args.model, args.state_dim, args.iterations, args.seed,
                          dtype=args.dtype, scan_mode=args.scan_mode)
     trainer = RouteNetTrainer(
@@ -175,7 +230,9 @@ def _command_train(args: argparse.Namespace) -> int:
         TrainerConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                       batch_size=args.batch_size, dtype=args.dtype,
                       bucket_by_length=args.bucket_by_length,
-                      num_workers=args.num_workers, seed=args.seed),
+                      num_workers=args.num_workers, overlap=args.overlap,
+                      prefetch_depth=args.prefetch_depth if streaming else 2,
+                      seed=args.seed),
         normalizer=normalizer,
     )
     checkpoint = args.checkpoint
@@ -185,8 +242,11 @@ def _command_train(args: argparse.Namespace) -> int:
         trainer.load_checkpoint(checkpoint)
         print(f"resumed from {checkpoint} at epoch "
               f"{trainer.history.epochs[-1] if trainer.history.epochs else 0}")
-    history = trainer.fit(train_samples, val_samples=val_samples or None,
-                          checkpoint_path=checkpoint)
+    if streaming:
+        history = trainer.fit(dataset_path=args.dataset, checkpoint_path=checkpoint)
+    else:
+        history = trainer.fit(train_samples, val_samples=val_samples or None,
+                              checkpoint_path=checkpoint)
     if checkpoint:
         print(f"checkpoint at {checkpoint} covers epoch {history.epochs[-1]}")
     metadata = {
@@ -236,6 +296,7 @@ def _command_fig2(args: argparse.Namespace) -> int:
         scan_mode=args.scan_mode,
         bucket_by_length=args.bucket_by_length,
         num_workers=args.num_workers,
+        overlap=args.overlap,
         seed=args.seed,
     )
     print(result.report())

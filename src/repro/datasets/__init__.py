@@ -13,7 +13,10 @@ produce samples:
 
 :mod:`repro.datasets.tensorize` converts samples into the index/feature
 arrays the RouteNet models consume, and :mod:`repro.datasets.storage`
-persists datasets to disk.
+persists datasets to disk — either as one gzipped JSON blob (format 1) or
+as a :mod:`sharded <repro.datasets.sharded>` store of gzipped JSONL shards
+(format 2) that :mod:`repro.datasets.prefetch` streams batches out of for
+out-of-core training.
 """
 
 from repro.datasets.sample import Sample
@@ -22,9 +25,16 @@ from repro.datasets.simulation import SimulationGroundTruth
 from repro.datasets.generator import DatasetConfig, DatasetGenerator, generate_dataset
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.tensorize import TensorizedSample, tensorize_sample
-from repro.datasets.batching import make_batches, merge_tensorized_samples
+from repro.datasets.batching import bucket_order, make_batches, merge_tensorized_samples
 from repro.datasets.splits import train_val_test_split
 from repro.datasets.storage import load_dataset, save_dataset
+from repro.datasets.sharded import (
+    ShardedDatasetReader,
+    ShardedDatasetWriter,
+    attach_normalizer,
+    is_sharded_store,
+)
+from repro.datasets.prefetch import BatchPrefetcher, iter_window_batches
 
 __all__ = [
     "Sample",
@@ -36,9 +46,16 @@ __all__ = [
     "FeatureNormalizer",
     "TensorizedSample",
     "tensorize_sample",
+    "bucket_order",
     "make_batches",
     "merge_tensorized_samples",
     "train_val_test_split",
     "save_dataset",
     "load_dataset",
+    "ShardedDatasetReader",
+    "ShardedDatasetWriter",
+    "attach_normalizer",
+    "is_sharded_store",
+    "BatchPrefetcher",
+    "iter_window_batches",
 ]

@@ -17,7 +17,19 @@ import numpy as np
 
 from repro.datasets.tensorize import TensorizedSample
 
-__all__ = ["merge_tensorized_samples", "make_batches"]
+__all__ = ["bucket_order", "merge_tensorized_samples", "make_batches"]
+
+
+def bucket_order(lengths) -> np.ndarray:
+    """Stable ordering that groups similar sequence lengths together.
+
+    The single definition of length-bucketed batch *membership*: both the
+    in-memory :func:`make_batches` and the streaming window planner
+    (:mod:`repro.datasets.prefetch`) sort with this, so a streamed epoch
+    whose window covers the dataset builds exactly the batches the in-memory
+    trainer pre-merges.
+    """
+    return np.argsort(np.asarray(lengths), kind="stable")
 
 
 def merge_tensorized_samples(samples: Sequence[TensorizedSample]) -> TensorizedSample:
@@ -133,7 +145,7 @@ def make_batches(samples: Sequence[TensorizedSample], batch_size: int,
     if not samples:
         raise ValueError("cannot batch an empty list of samples")
     if bucket_by_length:
-        order = np.argsort([s.max_path_length for s in samples], kind="stable")
+        order = bucket_order([s.max_path_length for s in samples])
         samples = [samples[i] for i in order]
     elif rng is not None:
         order = rng.permutation(len(samples))

@@ -1,0 +1,249 @@
+"""Streaming epoch pipeline: tensorise, bucket and merge batches ahead of
+the trainer with bounded memory.
+
+The in-memory training path tensorises the whole dataset and pre-merges all
+batches before the first epoch.  :class:`BatchPrefetcher` replaces that with
+a producer thread that consumes an iterable of :class:`Sample` objects (a
+:class:`~repro.datasets.sharded.ShardedDatasetReader` pass, one per epoch),
+tensorises them, groups them into merged batches and hands the batches to
+the trainer through a bounded queue — so at any moment only
+
+* one bucketing *window* of tensorised samples (``window_batches`` batches'
+  worth, released member by member as they are merged), and
+* at most ``prefetch_depth`` merged batches (the queue bound) plus the one
+  being merged and the one being trained on
+
+are live, independent of the dataset size.
+
+Bucketing degrades gracefully to **per-window bucketing**: within each
+window the samples are stably sorted by ``max_path_length`` (exactly like
+:func:`repro.datasets.batching.make_batches`), merged in that order, and the
+window's batch *visit order* is permuted with the trainer's RNG when
+shuffling.  When a single window covers the whole dataset
+(``window_batches >= ceil(n / batch_size)``) this is *identical* — same
+batch membership, same RNG draws, same visit order — to the in-memory
+trainer's pre-merged static batches, which is what the bit-exact
+streamed-vs-in-memory equivalence tests pin down.  Smaller windows bound
+memory at the cost of bucketing (and shuffling) only within each window.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.datasets.batching import bucket_order, merge_tensorized_samples
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sample import Sample
+from repro.datasets.tensorize import TensorizedSample, tensorize_sample
+
+__all__ = ["BatchPrefetcher", "iter_window_batches"]
+
+
+def iter_window_batches(samples: Iterable[Sample],
+                        normalizer: FeatureNormalizer,
+                        batch_size: int,
+                        target: str = "delay",
+                        dtype=None,
+                        bucket_by_length: bool = True,
+                        window_batches: int = 64,
+                        rng: Optional[np.random.Generator] = None,
+                        ) -> Iterator[TensorizedSample]:
+    """Yield merged batches from a sample stream, one window at a time.
+
+    This is the synchronous core of :class:`BatchPrefetcher` (exposed
+    separately so it can be tested and reasoned about without threads).
+    Window members are released as soon as their batch is merged, so the
+    peak is one window of tensorised samples plus one merged batch.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    if window_batches < 1:
+        raise ValueError("window_batches must be at least 1")
+    window_size = window_batches * batch_size
+
+    def flush(window: List[TensorizedSample]) -> Iterator[TensorizedSample]:
+        # Mirror the in-memory trainer's two regimes exactly (same RNG
+        # draws, same membership) so a single-window stream is bit-identical:
+        # bucketed -> membership fixed by the stable length sort, the *visit*
+        # order permuted (what _epoch_plan does with static batches);
+        # unbucketed -> *membership* shuffled by permuting the sample order,
+        # batches visited as built (what make_batches(rng=...) does).
+        if bucket_by_length:
+            order = bucket_order([item.max_path_length for item in window])
+        elif rng is not None:
+            order = rng.permutation(len(window))
+        else:
+            order = np.arange(len(window))
+        memberships = [order[start:start + batch_size]
+                       for start in range(0, len(order), batch_size)]
+        if bucket_by_length and rng is not None:
+            visit = rng.permutation(len(memberships))
+        else:
+            visit = np.arange(len(memberships))
+        for batch_index in visit:
+            members = [window[i] for i in memberships[batch_index]]
+            merged = merge_tensorized_samples(members)
+            # Release the members: once merged (the merge always copies),
+            # the window slots are the only references keeping them alive.
+            for i in memberships[batch_index]:
+                window[i] = None
+            yield merged
+
+    window: List[TensorizedSample] = []
+    for sample in samples:
+        window.append(tensorize_sample(sample, normalizer, target=target,
+                                       dtype=dtype))
+        if len(window) >= window_size:
+            yield from flush(window)
+            window = []
+    if window:
+        yield from flush(window)
+
+
+class BatchPrefetcher:
+    """Background thread producing merged batches ``prefetch_depth`` ahead.
+
+    Iterate over the prefetcher to consume one epoch's batches; the producer
+    thread stays at most ``prefetch_depth`` merged batches ahead of the
+    consumer (the queue bound provides backpressure).  Exceptions raised
+    while reading/tensorising propagate to the consumer at the point of
+    iteration.  :meth:`close` stops the producer early (idempotent; also
+    called automatically when the stream is exhausted), and **must** be
+    called before the owner reuses the RNG, since the producer draws from it.
+
+    ``peak_live_batches`` records the highest number of merged batches that
+    were simultaneously materialised (queued or in flight, plus the one the
+    consumer holds) — the number the trainer logs per epoch so a streaming
+    regression back to O(dataset) behaviour is visible without profiling.
+    ``peak_live_bytes`` is the same high-water mark in array bytes
+    (:attr:`TensorizedSample.nbytes` of the live batches).
+    """
+
+    _DONE = object()
+
+    def __init__(self, samples: Iterable[Sample],
+                 normalizer: FeatureNormalizer,
+                 batch_size: int,
+                 target: str = "delay",
+                 dtype=None,
+                 bucket_by_length: bool = True,
+                 window_batches: int = 64,
+                 rng: Optional[np.random.Generator] = None,
+                 prefetch_depth: int = 2) -> None:
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be at least 1")
+        self.prefetch_depth = prefetch_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=prefetch_depth)
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._live = 0
+        self._live_bytes = 0
+        self._live_lock = threading.Lock()
+        self.peak_live_batches = 0
+        self.peak_live_bytes = 0
+        self.batches_yielded = 0
+        self._source = iter_window_batches(
+            self._stop_aware(samples), normalizer, batch_size, target=target,
+            dtype=dtype, bucket_by_length=bucket_by_length,
+            window_batches=window_batches, rng=rng)
+        self._thread = threading.Thread(target=self._produce,
+                                        name="batch-prefetcher", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _stop_aware(self, samples: Iterable[Sample]) -> Iterator[Sample]:
+        """Wrap the sample source so a close() is noticed between samples,
+        not only between queue puts — one sample's work bounds how long the
+        producer can keep running (and drawing from the RNG) after close."""
+        for sample in samples:
+            if self._stop.is_set():
+                return
+            yield sample
+
+    def _track(self, delta: int, nbytes: int) -> None:
+        with self._live_lock:
+            self._live += delta
+            self._live_bytes += delta * nbytes
+            # +1 batch (and its bytes) accounts for the one the consumer is
+            # training on (it releases the previous when fetching the next).
+            self.peak_live_batches = max(self.peak_live_batches, self._live + 1)
+            self.peak_live_bytes = max(self.peak_live_bytes,
+                                       self._live_bytes + nbytes)
+
+    def _put(self, item) -> bool:
+        """Blocking put that gives up when :meth:`close` was called."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _produce(self) -> None:
+        try:
+            for batch in self._source:
+                if self._stop.is_set():
+                    return
+                self._track(+1, batch.nbytes)
+                if not self._put(batch):
+                    self._track(-1, batch.nbytes)
+                    return
+        except BaseException as error:  # noqa: BLE001 - forwarded to consumer
+            self._error = error
+            self._put(self._DONE)
+            return
+        self._put(self._DONE)
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[TensorizedSample]:
+        return self
+
+    def __next__(self) -> TensorizedSample:
+        if self._stop.is_set():
+            raise StopIteration
+        item = self._queue.get()
+        if item is self._DONE:
+            self._stop.set()
+            self._thread.join()
+            if self._error is not None:
+                raise self._error
+            raise StopIteration
+        self._track(-1, item.nbytes)
+        self.batches_yielded += 1
+        return item
+
+    def close(self) -> None:
+        """Stop the producer and release queued batches (idempotent).
+
+        Blocks until the producer thread has actually exited (bounded by at
+        most one sample's tensorisation plus one window flush), so after
+        ``close()`` returns nothing can touch the shared RNG concurrently
+        with the caller.  Note the RNG *position* after an early-terminated
+        epoch still depends on how far ahead the producer got — callers
+        that need cross-run reproducibility after an abandoned epoch should
+        restore the RNG state (e.g. via a trainer checkpoint) rather than
+        continue from it.
+        """
+        self._stop.set()
+        while True:
+            # Drain so a producer blocked on a full queue can observe the
+            # stop; loop because it may complete one more put per drain.
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            self._thread.join(timeout=0.1)
+            if not self._thread.is_alive():
+                break
+
+    def __enter__(self) -> "BatchPrefetcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,311 @@
+"""Sharded on-disk dataset store: gzipped JSONL shards plus a manifest.
+
+Format 2 of the dataset storage layer (format 1 is the single ``.json.gz``
+blob of :mod:`repro.datasets.storage`).  A sharded store is a *directory*::
+
+    store/
+      manifest.json          <- format_version 2, shard index, normalizer
+      shard-00000.jsonl.gz   <- one JSON-encoded Sample dict per line
+      shard-00001.jsonl.gz
+      ...
+
+Samples are written **incrementally** (one line at a time, rolling over to a
+new shard every ``shard_size`` samples), so arbitrarily large datasets can be
+generated and persisted without ever materialising the sample list — and
+read back the same way: :class:`ShardedDatasetReader` is an iterable that
+parses one sample at a time, which is what the streaming training pipeline
+(:mod:`repro.datasets.prefetch`) consumes to run epochs in O(window) memory
+instead of O(dataset).
+
+Crash safety mirrors the trainer's checkpointing: every shard is written to
+a ``.tmp`` name and :func:`os.replace`-d into place when complete, and the
+manifest — written last — is the commit point.  A killed writer leaves at
+worst orphaned shard files and no *new* manifest, never a store that reads
+back truncated; rewriting an existing store keeps the old generation fully
+readable until the new manifest lands (rewrite shards carry a unique
+``shard-<token>-NNNNN`` name prefix so the generations cannot collide, and
+the superseded files are deleted only after the commit).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+import os
+from typing import Iterator, List, Optional
+
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sample import Sample
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ShardedDatasetWriter",
+    "ShardedDatasetReader",
+    "attach_normalizer",
+    "is_sharded_store",
+    "shard_size_for",
+]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def is_sharded_store(path: str) -> bool:
+    """True when ``path`` is a directory holding a sharded-store manifest."""
+    return os.path.isdir(path) and os.path.isfile(os.path.join(path, MANIFEST_NAME))
+
+
+def _write_manifest(path: str, manifest: dict) -> None:
+    """Atomically (re)write the manifest — the store's commit point."""
+    target = os.path.join(path, MANIFEST_NAME)
+    temporary = target + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    os.replace(temporary, target)
+
+
+class ShardedDatasetWriter:
+    """Write samples incrementally into a sharded dataset store.
+
+    Parameters
+    ----------
+    path:
+        Directory of the store (created if missing).  Re-writing an
+        existing store is **atomic at the manifest**: the new generation's
+        shards are written under fresh (collision-free) names while the old
+        manifest — and every shard it references — stays untouched, so
+        readers keep seeing the previous dataset until :meth:`close`
+        replaces the manifest; only then are the superseded shard files
+        deleted.  A rewrite killed at any point leaves the old store fully
+        readable.
+    shard_size:
+        Samples per shard (the last shard may be smaller).
+    normalizer / metadata:
+        Stored in the manifest.  The normaliser can also be attached after
+        the fact with :meth:`set_normalizer` (before :meth:`close`) or
+        :func:`attach_normalizer` (after) — useful when it is fitted by
+        streaming over the already-written store.
+
+    Use as a context manager: a clean exit finalises the manifest, an
+    exception aborts without one (a fresh store stays invisible to readers,
+    an existing one keeps its previous contents).
+    """
+
+    def __init__(self, path: str, shard_size: int = 256,
+                 normalizer: Optional[FeatureNormalizer] = None,
+                 metadata: Optional[dict] = None) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        self.path = path
+        self.shard_size = shard_size
+        self._normalizer = normalizer
+        self._metadata = dict(metadata) if metadata else {}
+        self._shards: List[dict] = []
+        self._handle = None
+        self._current_count = 0
+        self._closed = False
+        os.makedirs(path, exist_ok=True)
+        # When a committed store already lives here, the new generation's
+        # shards get a unique name prefix so they can never collide with a
+        # shard the live manifest references — the prerequisite for the
+        # atomic manifest swap in close().
+        if os.path.exists(os.path.join(path, MANIFEST_NAME)):
+            self._name_prefix = f"shard-{os.urandom(4).hex()}-"
+        else:
+            self._name_prefix = "shard-"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_samples(self) -> int:
+        """Samples written so far (including the open shard)."""
+        return (sum(shard["num_samples"] for shard in self._shards)
+                + self._current_count)
+
+    def set_normalizer(self, normalizer: Optional[FeatureNormalizer]) -> None:
+        """Set the normaliser recorded in the manifest at :meth:`close`."""
+        self._normalizer = normalizer
+
+    # ------------------------------------------------------------------ #
+    def _shard_name(self) -> str:
+        return f"{self._name_prefix}{len(self._shards):05d}.jsonl.gz"
+
+    def _open_shard(self) -> None:
+        temporary = os.path.join(self.path, self._shard_name() + ".tmp")
+        self._handle = gzip.open(temporary, "wt", encoding="utf-8")
+        self._current_count = 0
+
+    def _seal_shard(self) -> None:
+        """Close the open shard and rename it into its final place."""
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+        name = self._shard_name()
+        os.replace(os.path.join(self.path, name + ".tmp"),
+                   os.path.join(self.path, name))
+        self._shards.append({"name": name, "num_samples": self._current_count})
+        self._current_count = 0
+
+    def write(self, sample: Sample) -> None:
+        """Append one sample (one JSONL line; shards roll automatically)."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        if self._handle is None:
+            self._open_shard()
+        json.dump(sample.to_dict(), self._handle)
+        self._handle.write("\n")
+        self._current_count += 1
+        if self._current_count >= self.shard_size:
+            self._seal_shard()
+
+    def close(self) -> str:
+        """Seal the open shard and commit the manifest; returns the path.
+
+        The manifest replace is the commit point; superseded shard files
+        from a previous generation (and any stray ``.tmp``) are deleted
+        only *after* it, so a crash anywhere leaves either the old store or
+        the new one fully readable — never a mixture.
+        """
+        if self._closed:
+            return self.path
+        if self._current_count > 0:
+            self._seal_shard()
+        elif self._handle is not None:  # opened but empty (cannot happen today)
+            self._handle.close()
+            self._handle = None
+        manifest = {
+            "format_version": 2,
+            "metadata": self._metadata,
+            "normalizer": (self._normalizer.to_dict()
+                           if self._normalizer is not None else None),
+            "total_samples": sum(s["num_samples"] for s in self._shards),
+            "shards": self._shards,
+        }
+        _write_manifest(self.path, manifest)
+        self._closed = True
+        referenced = {shard["name"] for shard in self._shards}
+        for name in os.listdir(self.path):
+            if name == MANIFEST_NAME or name in referenced:
+                continue
+            if name.startswith("shard-"):
+                try:
+                    os.remove(os.path.join(self.path, name))
+                except OSError:
+                    pass
+        return self.path
+
+    def abort(self) -> None:
+        """Drop everything this writer produced; commit nothing.
+
+        The in-progress ``.tmp`` and any shards this writer already sealed
+        are removed; a pre-existing store (manifest and its shards) is left
+        exactly as it was.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            try:
+                os.remove(os.path.join(self.path, self._shard_name() + ".tmp"))
+            except OSError:
+                pass
+        for shard in self._shards:
+            try:
+                os.remove(os.path.join(self.path, shard["name"]))
+            except OSError:
+                pass
+        self._shards = []
+        self._closed = True
+
+    def __enter__(self) -> "ShardedDatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class ShardedDatasetReader:
+    """Stream samples back out of a sharded store, one at a time.
+
+    The reader is a sized iterable: ``len(reader)`` is the manifest's total
+    and every ``iter(reader)`` starts a fresh pass over the shards (one pass
+    per training epoch).  Iteration parses one JSONL line into a
+    :class:`Sample` at a time, so only O(1) samples are ever live — the
+    property the out-of-core training path is built on.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not is_sharded_store(path):
+            raise FileNotFoundError(
+                f"no sharded dataset store at '{path}' (expected a directory "
+                f"containing {MANIFEST_NAME})")
+        self.path = path
+        with open(os.path.join(path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        version = manifest.get("format_version")
+        if version != 2:
+            raise ValueError(
+                f"unsupported sharded-store format_version {version!r} "
+                f"in '{path}' (this reader understands version 2)")
+        self._manifest = manifest
+        self.metadata: dict = manifest.get("metadata", {})
+        self.normalizer: Optional[FeatureNormalizer] = (
+            FeatureNormalizer.from_dict(manifest["normalizer"])
+            if manifest.get("normalizer") else None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> List[dict]:
+        """The manifest's shard index: ``[{"name", "num_samples"}, ...]``."""
+        return list(self._manifest["shards"])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._manifest["shards"])
+
+    def __len__(self) -> int:
+        return int(self._manifest["total_samples"])
+
+    def __iter__(self) -> Iterator[Sample]:
+        for shard in self._manifest["shards"]:
+            shard_path = os.path.join(self.path, shard["name"])
+            count = 0
+            with gzip.open(shard_path, "rt", encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    yield Sample.from_dict(json.loads(line))
+                    count += 1
+            if count != shard["num_samples"]:
+                raise ValueError(
+                    f"shard '{shard['name']}' of '{self.path}' holds {count} "
+                    f"samples but the manifest records {shard['num_samples']} "
+                    "(truncated or corrupted shard)")
+
+    def read_all(self) -> List[Sample]:
+        """Materialise the whole store as a list (the non-streaming path)."""
+        return list(self)
+
+
+def attach_normalizer(path: str, normalizer: Optional[FeatureNormalizer]) -> None:
+    """Rewrite a store's manifest with ``normalizer`` (atomically).
+
+    Lets a normaliser be fitted *after* generation by streaming over the
+    written store (``FeatureNormalizer().fit(ShardedDatasetReader(path))``)
+    and then recorded without rewriting any shard.
+    """
+    if not is_sharded_store(path):
+        raise FileNotFoundError(f"no sharded dataset store at '{path}'")
+    with open(os.path.join(path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest["normalizer"] = normalizer.to_dict() if normalizer is not None else None
+    _write_manifest(path, manifest)
+
+
+def shard_size_for(num_samples: int, shards: int) -> int:
+    """Shard size that spreads ``num_samples`` over exactly ``shards`` files."""
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return max(1, math.ceil(num_samples / shards))

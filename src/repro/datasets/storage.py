@@ -1,48 +1,139 @@
-"""Persisting datasets (lists of samples plus their normaliser) to disk."""
+"""Persisting datasets (samples plus their normaliser) to disk.
+
+Two formats share this entry point:
+
+* **format 1** — one gzipped JSON file (``.json.gz``) holding every sample;
+  the historical format, still read and written.
+* **format 2** — a sharded store directory (see
+  :mod:`repro.datasets.sharded`): gzipped JSONL shards plus a manifest,
+  written and read incrementally.  ``save_dataset(..., shards=N)`` writes
+  one; :func:`load_dataset` transparently reads either.
+"""
 
 from __future__ import annotations
 
 import gzip
 import json
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.sample import Sample
+from repro.datasets.sharded import (
+    ShardedDatasetReader,
+    ShardedDatasetWriter,
+    is_sharded_store,
+    shard_size_for,
+)
 
 __all__ = ["save_dataset", "load_dataset"]
 
 
-def save_dataset(samples: Sequence[Sample], path: str,
+def save_dataset(samples: Iterable[Sample], path: str,
                  normalizer: Optional[FeatureNormalizer] = None,
-                 metadata: Optional[dict] = None) -> str:
-    """Write samples (and optionally their normaliser) to a gzipped JSON file.
+                 metadata: Optional[dict] = None,
+                 shards: Optional[int] = None) -> str:
+    """Write samples (and optionally their normaliser) to disk.
 
-    Returns the path written; ``.json.gz`` is appended when missing.
+    With ``shards=None`` (default) this writes the format-1 single
+    ``.json.gz`` file (suffix appended when missing).  Sample dicts are
+    streamed to the gzip handle one at a time — the full serialised payload
+    never exists in memory — and the file is written to a temporary name
+    and :func:`os.replace`-d into place, so a crashed save never leaves a
+    truncated dataset where a good one used to be (the same atomic-write
+    contract as the trainer's ``save_checkpoint``).
+
+    With ``shards=N`` the samples are spread over a sharded store directory
+    at ``path`` (no suffix; see :class:`~repro.datasets.sharded.
+    ShardedDatasetWriter`), which :func:`load_dataset` and the streaming
+    training path both read.
+
+    Returns the path written.
     """
+    if shards is not None:
+        # Spreading over exactly N shards needs the sample count up front;
+        # sized inputs (lists, readers) are used as-is, only unsized
+        # iterators are buffered.  For a truly unbounded stream drive a
+        # ShardedDatasetWriter with a fixed shard_size directly instead.
+        try:
+            count = len(samples)
+        except TypeError:
+            samples = list(samples)
+            count = len(samples)
+        with ShardedDatasetWriter(path,
+                                  shard_size=shard_size_for(count, shards),
+                                  normalizer=normalizer,
+                                  metadata=metadata) as writer:
+            for sample in samples:
+                writer.write(sample)
+        return writer.path
+
     if not path.endswith(".json.gz"):
         path = path + ".json.gz"
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    payload = {
-        "format_version": 1,
-        "metadata": metadata or {},
-        "normalizer": normalizer.to_dict() if normalizer is not None else None,
-        "samples": [sample.to_dict() for sample in samples],
-    }
-    with gzip.open(path, "wt", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    temporary = path + ".tmp"
+    try:
+        with gzip.open(temporary, "wt", encoding="utf-8") as handle:
+            handle.write('{"format_version": 1, "metadata": ')
+            json.dump(metadata or {}, handle)
+            handle.write(', "normalizer": ')
+            json.dump(normalizer.to_dict() if normalizer is not None else None,
+                      handle)
+            handle.write(', "samples": [')
+            for index, sample in enumerate(samples):
+                if index:
+                    handle.write(", ")
+                json.dump(sample.to_dict(), handle)
+            handle.write("]}")
+    except BaseException:
+        # Never leave a half-written temp file behind a failed save.
+        try:
+            os.remove(temporary)
+        except OSError:
+            pass
+        raise
+    os.replace(temporary, path)
     return path
 
 
-def load_dataset(path: str) -> Tuple[List[Sample], Optional[FeatureNormalizer], dict]:
-    """Load a dataset written by :func:`save_dataset`.
+def _resolve_dataset_path(path: str) -> str:
+    """The existing dataset path: the exact path first, then ``.json.gz``.
 
-    Returns ``(samples, normalizer_or_None, metadata)``.
+    Checking the given path *first* means a file deliberately named without
+    the suffix loads fine, and a missing dataset produces an error naming
+    every candidate that was tried rather than a confusing message about a
+    suffixed path the user never typed.  Only a loadable exact path — a
+    file, or a directory that really is a sharded store — takes precedence:
+    a manifest-less directory (e.g. the residue of an aborted sharded
+    write) must not shadow a good ``<path>.json.gz`` next to it.
     """
+    if os.path.isfile(path) or is_sharded_store(path):
+        return path
     if not path.endswith(".json.gz"):
-        path = path + ".json.gz"
-    if not os.path.exists(path):
-        raise FileNotFoundError(f"no dataset file at '{path}'")
+        suffixed = path + ".json.gz"
+        if os.path.isfile(suffixed):
+            return suffixed
+        if os.path.isdir(path):
+            raise FileNotFoundError(
+                f"'{path}' is a directory but holds no sharded-store manifest "
+                f"(and no '{suffixed}' exists)")
+        raise FileNotFoundError(
+            f"no dataset at '{path}' (also tried '{suffixed}')")
+    raise FileNotFoundError(f"no dataset file at '{path}'")
+
+
+def load_dataset(path: str) -> Tuple[List[Sample], Optional[FeatureNormalizer], dict]:
+    """Load a dataset written by :func:`save_dataset` (either format).
+
+    Returns ``(samples, normalizer_or_None, metadata)``.  Sharded stores
+    are materialised in full here — for out-of-core training iterate a
+    :class:`~repro.datasets.sharded.ShardedDatasetReader` (or pass
+    ``dataset_path=`` to ``RouteNetTrainer.fit``) instead.
+    """
+    path = _resolve_dataset_path(path)
+    if os.path.isdir(path):
+        reader = ShardedDatasetReader(path)
+        return reader.read_all(), reader.normalizer, dict(reader.metadata)
     with gzip.open(path, "rt", encoding="utf-8") as handle:
         payload = json.load(handle)
     samples = [Sample.from_dict(entry) for entry in payload["samples"]]

@@ -80,6 +80,21 @@ class TensorizedSample:
         return self.link_sequences.shape[1]
 
     @property
+    def nbytes(self) -> int:
+        """Total bytes of the sample's arrays (live-memory accounting).
+
+        Used by the streaming pipeline's diagnostics to reason about how
+        much tensorised data is resident; iterates the dataclass fields so
+        future array fields are counted automatically.
+        """
+        total = 0
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
+    @property
     def num_merged_samples(self) -> int:
         """How many scenarios this sample represents (1 unless merged)."""
         if self.sample_path_offsets is None:

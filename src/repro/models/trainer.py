@@ -2,17 +2,20 @@
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.batching import make_batches
 from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.prefetch import BatchPrefetcher
 from repro.datasets.sample import Sample
+from repro.datasets.sharded import ShardedDatasetReader, is_sharded_store
 from repro.datasets.tensorize import TensorizedSample, tensorize_sample
 from repro.nn import metrics as nn_metrics
 from repro.nn.losses import huber_loss, mse_loss
@@ -74,6 +77,26 @@ class TrainerConfig:
     multiprocessing worker pool; ``"serial"`` executes the identical grouped
     semantics in-process — same parameter trajectory bit for bit — which is
     useful on single-core machines and for determinism tests.
+
+    ``overlap`` (with ``num_workers > 1``) turns on double-buffered
+    pipelining: after the optimiser step for group ``k`` the parent
+    immediately broadcasts the updated parameters and puts group ``k+1`` on
+    the workers, then does its own bookkeeping — loss accounting, and at
+    epoch boundaries the validation pass and the checkpoint write — while
+    the workers compute.  Overlap changes *when* the parent works, never
+    *what* is computed: every broadcast carries fully-updated parameters,
+    so overlapped and non-overlapped runs (and the ``serial`` twin) produce
+    bit-identical parameter trajectories.  Ignored when ``num_workers == 1``.
+
+    ``prefetch_depth`` and ``stream_window`` shape the out-of-core path
+    (``fit(dataset_path=...)`` over a sharded store): a background thread
+    reads, tensorises and merges batches up to ``prefetch_depth`` ahead,
+    bucketing/shuffling within windows of ``stream_window`` batches, so an
+    epoch holds O(stream_window · batch_size) tensorised samples plus
+    O(prefetch_depth) merged batches instead of the whole dataset.  When a
+    single window covers the dataset (``stream_window >= ceil(n /
+    batch_size)``) the streamed run is bit-identical to the in-memory one;
+    smaller windows bound memory and bucket/shuffle per window instead.
     """
 
     epochs: int = 20
@@ -88,6 +111,9 @@ class TrainerConfig:
     early_stopping_patience: Optional[int] = None
     num_workers: int = 1
     parallel_backend: str = "process"
+    overlap: bool = False
+    prefetch_depth: int = 2
+    stream_window: int = 64
     seed: int = 0
     log_every: int = 0
 
@@ -113,7 +139,63 @@ class TrainerConfig:
             raise ValueError("num_workers must be at least 1")
         if self.parallel_backend not in ("process", "serial"):
             raise ValueError("parallel_backend must be 'process' or 'serial'")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be at least 1")
+        if self.stream_window < 1:
+            raise ValueError("stream_window must be at least 1")
         resolve_dtype(self.dtype)  # raises on anything but float32/float64/None
+
+
+class _MemoryEpoch:
+    """One epoch over in-memory (possibly pre-merged) batches.
+
+    ``items`` is the batch list, ``order`` the visiting order; every batch
+    is live for the whole fit, which is exactly what ``peak_live_batches``
+    reports (the number the streaming path exists to shrink).
+    """
+
+    def __init__(self, items: Sequence[TensorizedSample], order: np.ndarray) -> None:
+        self.items = items
+        self.order = order
+
+    def serial_batches(self) -> Iterator[TensorizedSample]:
+        return (self.items[int(i)] for i in self.order)
+
+    def group_works(self, group_size: int) -> Iterator[tuple]:
+        for start in range(0, len(self.order), group_size):
+            yield ("indices", [int(i) for i in self.order[start:start + group_size]])
+
+    def peak_live_batches(self) -> int:
+        return len(self.items)
+
+    def close(self) -> None:
+        pass
+
+
+class _StreamingEpoch:
+    """One epoch streamed through a :class:`BatchPrefetcher`."""
+
+    def __init__(self, prefetcher: BatchPrefetcher) -> None:
+        self.prefetcher = prefetcher
+
+    def serial_batches(self) -> Iterator[TensorizedSample]:
+        return iter(self.prefetcher)
+
+    def group_works(self, group_size: int) -> Iterator[tuple]:
+        group: List[TensorizedSample] = []
+        for batch in self.prefetcher:
+            group.append(batch)
+            if len(group) == group_size:
+                yield ("payload", group)
+                group = []
+        if group:
+            yield ("payload", group)
+
+    def peak_live_batches(self) -> int:
+        return self.prefetcher.peak_live_batches
+
+    def close(self) -> None:
+        self.prefetcher.close()
 
 
 class RouteNetTrainer:
@@ -212,22 +294,35 @@ class RouteNetTrainer:
                                rng=self._rng if self.config.shuffle else None)
         return batches, np.arange(len(batches))
 
-    def train_step_group(self, executor, indices: Sequence[int]) -> Tuple[List[float], List[int]]:
-        """One data-parallel optimisation step over a group of batches.
+    def _submit_group_work(self, executor, work: tuple) -> None:
+        """Broadcast the current parameters and put one group on the executor.
 
-        Broadcasts the current parameters to the executor's replicas, which
-        compute one flat gradient per batch; the group gradient is their
-        **path-weighted average** ``sum_i(num_paths_i * g_i) /
-        sum_i(num_paths_i)`` — the same weighting :meth:`evaluate_loss`
-        applies to losses, so the update equals the gradient of the mean
-        per-path loss over every path in the group, exactly as if the group
-        had been merged into one giant batch.  Gradient clipping and the
-        optimiser step then run on the averaged gradient, once per group.
+        ``work`` is ``("indices", [int, ...])`` for uploaded in-memory
+        batches or ``("payload", [TensorizedSample, ...])`` for streamed
+        batches shipped inside the step messages.
+        """
+        kind, members = work
+        flat_params = self.model.parameters_vector()
+        if kind == "indices":
+            executor.submit_group(flat_params, members)
+        else:
+            executor.submit_group_payload(flat_params, members)
+
+    def _collect_and_apply(self, executor) -> Tuple[List[float], List[int]]:
+        """Gather the in-flight group's gradients and take the optimiser step.
+
+        The group gradient is the **path-weighted average**
+        ``sum_i(num_paths_i * g_i) / sum_i(num_paths_i)`` — the same
+        weighting :meth:`evaluate_loss` applies to losses, so the update
+        equals the gradient of the mean per-path loss over every path in
+        the group, exactly as if the group had been merged into one giant
+        batch.  Gradient clipping and the optimiser step then run on the
+        averaged gradient, once per group.
 
         Returns the per-batch losses and path counts (for epoch-loss
         weighting, identical to the serial bookkeeping).
         """
-        results = executor.run_group(self.model.parameters_vector(), indices)
+        results = executor.collect_group()
         gradient = path_weighted_average([r[0] for r in results],
                                          [r[2] for r in results])
         self.model.load_gradients_vector(gradient)
@@ -236,25 +331,32 @@ class RouteNetTrainer:
         self.optimizer.step()
         return [r[1] for r in results], [r[2] for r in results]
 
-    def _run_parallel_epoch(self, executor, items: Sequence[TensorizedSample],
-                            order: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Run one epoch through the gradient executor in groups of
-        ``num_workers`` batches, returning per-batch losses and weights."""
-        executor.ensure_batches(items)
-        losses: List[float] = []
-        weights: List[int] = []
-        group_size = self.config.num_workers
-        for start in range(0, len(order), group_size):
-            group = [int(i) for i in order[start:start + group_size]]
-            group_losses, group_weights = self.train_step_group(executor, group)
-            losses.extend(group_losses)
-            weights.extend(group_weights)
-        return np.asarray(losses), np.asarray(weights, dtype=np.float64)
+    def train_step_group(self, executor, indices: Sequence[int]) -> Tuple[List[float], List[int]]:
+        """One synchronous data-parallel optimisation step over a group of
+        uploaded batches (see :meth:`_collect_and_apply` for the update
+        semantics)."""
+        self._submit_group_work(executor, ("indices", list(indices)))
+        return self._collect_and_apply(executor)
 
-    def fit(self, train_samples: Sequence[Sample],
+    def fit(self, train_samples: Optional[Sequence[Sample]] = None,
             val_samples: Optional[Sequence[Sample]] = None,
-            checkpoint_path: Optional[str] = None) -> History:
+            checkpoint_path: Optional[str] = None,
+            dataset_path: Optional[str] = None) -> History:
         """Train for ``config.epochs`` *additional* epochs; return the history.
+
+        Training data comes from exactly one of two sources:
+
+        * ``train_samples`` — the in-memory path: every sample is tensorised
+          up front and (with fixed batch membership) pre-merged once.
+        * ``dataset_path`` — the **out-of-core** path: the path of a sharded
+          dataset store (see :mod:`repro.datasets.sharded`), streamed one
+          epoch at a time through a :class:`~repro.datasets.prefetch.
+          BatchPrefetcher` so only ``config.stream_window`` batches' worth of
+          tensorised samples plus ``config.prefetch_depth`` merged batches
+          are ever live.  The trainer's normaliser comes from the store's
+          manifest (or, failing that, one streaming fit pass).  With
+          ``stream_window`` covering the whole dataset the streamed run is
+          bit-identical to the in-memory one.
 
         ``checkpoint_path`` (optional) makes the run interruption-safe: a
         full checkpoint (see :meth:`save_checkpoint`) is rewritten after
@@ -271,11 +373,56 @@ class RouteNetTrainer:
         — each call starts a fresh patience window.
 
         With ``config.num_workers > 1`` the epoch's batches are processed in
-        data-parallel groups (see :meth:`train_step_group`); the executor —
+        data-parallel groups (see :meth:`_collect_and_apply`); the executor —
         a multiprocessing worker pool, or its in-process serial twin — lives
-        for the duration of this call.
+        for the duration of this call.  ``config.overlap`` additionally
+        pipelines the groups: the parent submits group ``k+1`` the moment
+        its optimiser step for group ``k`` is done (double-buffered
+        parameter broadcast), and at epoch boundaries puts the next epoch's
+        first group on the workers *before* running validation and writing
+        the checkpoint — all without changing a single update (see
+        :class:`TrainerConfig`).
+
+        Every epoch records ``samples_per_sec`` and ``peak_live_batches``
+        into the history, so streaming-vs-in-memory throughput and memory
+        regressions show up without the benchmark suite.
         """
-        train_items = self.prepare(train_samples)
+        if (train_samples is None) == (dataset_path is None):
+            raise ValueError(
+                "fit() needs exactly one data source: train_samples (in-memory) "
+                "or dataset_path (streamed from a sharded store)")
+        reader = None
+        train_items = None
+        static_batches = None
+        if dataset_path is not None:
+            if not is_sharded_store(dataset_path):
+                raise ValueError(
+                    f"'{dataset_path}' is not a sharded dataset store; "
+                    "out-of-core training streams shards — write one with "
+                    "save_dataset(..., shards=N) or a ShardedDatasetWriter, "
+                    "or load_dataset() it and pass train_samples instead")
+            reader = ShardedDatasetReader(dataset_path)
+            samples_per_epoch = len(reader)
+            if samples_per_epoch == 0:
+                raise ValueError(f"dataset store '{dataset_path}' is empty")
+            if self.normalizer is None:
+                # Prefer the store's recorded statistics; otherwise fit by
+                # streaming over the store once (O(1) samples live).
+                self.normalizer = (reader.normalizer
+                                   or FeatureNormalizer().fit(reader))
+        else:
+            train_items = self.prepare(train_samples)
+            samples_per_epoch = len(train_items)
+            # When batch membership is fixed across epochs — bucketing pins
+            # it to the length ordering, and shuffle=False to the input
+            # order — the disjoint-union merge (and the memoised
+            # message-passing index / scan plan built on it) happens once
+            # here, and epochs only permute the visiting order of the
+            # pre-merged batches.
+            if self.config.batch_size > 1 and (self.config.bucket_by_length
+                                               or not self.config.shuffle):
+                static_batches = make_batches(train_items, self.config.batch_size,
+                                              bucket_by_length=self.config.bucket_by_length)
         val_items = self.prepare(val_samples) if val_samples else None
         if val_items and self.config.batch_size > 1:
             # Merge validation scenarios once; the weighted evaluate_loss
@@ -284,40 +431,104 @@ class RouteNetTrainer:
                                      bucket_by_length=self.config.bucket_by_length)
         stopper = (EarlyStopping(patience=self.config.early_stopping_patience, min_delta=1e-6)
                    if self.config.early_stopping_patience else None)
-        # When batch membership is fixed across epochs — bucketing pins it
-        # to the length ordering, and shuffle=False to the input order — the
-        # disjoint-union merge (and the memoised message-passing index /
-        # scan plan built on it) happens once here, and epochs only permute
-        # the visiting order of the pre-merged batches.
-        static_batches = None
-        if self.config.batch_size > 1 and (self.config.bucket_by_length
-                                           or not self.config.shuffle):
-            static_batches = make_batches(train_items, self.config.batch_size,
-                                          bucket_by_length=self.config.bucket_by_length)
 
         executor = None
         if self.config.num_workers > 1:
             executor = make_gradient_executor(self.model, self.config.num_workers,
                                               loss=self.config.loss,
                                               backend=self.config.parallel_backend)
+        overlap = self.config.overlap and executor is not None
+
+        def make_epoch():
+            if reader is not None:
+                prefetcher = BatchPrefetcher(
+                    iter(reader), self.normalizer, self.config.batch_size,
+                    target=self.config.target, dtype=self.config.dtype,
+                    # Mirror _epoch_plan: at batch_size 1 the in-memory path
+                    # never buckets (there is no padding to shrink), so the
+                    # streamed path must not either or the visit order — and
+                    # with it the parameter trajectory — would diverge.
+                    bucket_by_length=(self.config.bucket_by_length
+                                      and self.config.batch_size > 1),
+                    window_batches=self.config.stream_window,
+                    rng=self._rng if self.config.shuffle else None,
+                    prefetch_depth=self.config.prefetch_depth)
+                return _StreamingEpoch(prefetcher)
+            items, order = self._epoch_plan(train_items, static_batches)
+            if executor is not None:
+                executor.ensure_batches(items)
+            return _MemoryEpoch(items, order)
+
         start_epoch = self.history.epochs[-1] if self.history.epochs else 0
+        last_epoch = start_epoch + self.config.epochs
+        pending = False   # one submitted-but-uncollected group (overlap mode)
+        carried = None    # next epoch planned ahead at an overlap boundary
+        current = None
         try:
-            for epoch in range(start_epoch + 1, start_epoch + self.config.epochs + 1):
+            for epoch in range(start_epoch + 1, last_epoch + 1):
                 start = time.perf_counter()
-                items, order = self._epoch_plan(train_items, static_batches)
-                if executor is not None:
-                    step_losses, step_weights = self._run_parallel_epoch(
-                        executor, items, order)
+                if carried is not None:
+                    current, works, losses, weights = carried
+                    carried = None
                 else:
-                    batches = [items[i] for i in order]
-                    step_losses = np.array([self.train_step(batch) for batch in batches])
-                    step_weights = np.array([batch.num_paths for batch in batches],
-                                            dtype=np.float64)
-                train_loss = float(np.average(step_losses, weights=step_weights))
+                    current = make_epoch()
+                    works = (iter(current.group_works(self.config.num_workers))
+                             if executor is not None else None)
+                    losses, weights = [], []
+                if executor is None:
+                    for batch in current.serial_batches():
+                        losses.append(self.train_step(batch))
+                        weights.append(batch.num_paths)
+                else:
+                    for work in works:
+                        if overlap:
+                            if pending:
+                                got_losses, got_weights = self._collect_and_apply(executor)
+                                losses.extend(got_losses)
+                                weights.extend(got_weights)
+                            self._submit_group_work(executor, work)
+                            pending = True
+                        else:
+                            self._submit_group_work(executor, work)
+                            got_losses, got_weights = self._collect_and_apply(executor)
+                            losses.extend(got_losses)
+                            weights.extend(got_weights)
+                    if pending:
+                        got_losses, got_weights = self._collect_and_apply(executor)
+                        losses.extend(got_losses)
+                        weights.extend(got_weights)
+                        pending = False
+                current.close()  # streaming: joins the finished producer
+                peak_live = current.peak_live_batches()
+                train_loss = float(np.average(
+                    np.asarray(losses),
+                    weights=np.asarray(weights, dtype=np.float64)))
+
+                # Overlap boundary: snapshot the RNG state the checkpoint
+                # must carry (the next epoch's plan consumes a draw that a
+                # resumed run will re-consume when *it* plans that epoch),
+                # then put the next epoch's first group on the workers so
+                # they compute through the validation pass and checkpoint
+                # write below.
+                rng_snapshot = None
+                if overlap and epoch < last_epoch:
+                    rng_snapshot = copy.deepcopy(self._rng.bit_generator.state)
+                    next_epoch = make_epoch()
+                    next_works = iter(next_epoch.group_works(self.config.num_workers))
+                    first = next(next_works, None)
+                    if first is not None:
+                        self._submit_group_work(executor, first)
+                        pending = True
+                    carried = (next_epoch, next_works, [], [])
                 val_loss = self.evaluate_loss(val_items) if val_items else None
-                self.history.record(epoch, train_loss, val_loss, time.perf_counter() - start)
+                seconds = time.perf_counter() - start
+                self.history.record(
+                    epoch, train_loss, val_loss, seconds,
+                    samples_per_sec=(samples_per_epoch / seconds
+                                     if seconds > 0 else None),
+                    peak_live_batches=peak_live)
                 if checkpoint_path is not None:
-                    self.save_checkpoint(checkpoint_path)
+                    self.save_checkpoint(checkpoint_path, rng_state=rng_snapshot)
 
                 if self.config.log_every and epoch % self.config.log_every == 0:
                     message = f"epoch {epoch:3d}  train={train_loss:.5f}"
@@ -328,8 +539,24 @@ class RouteNetTrainer:
                 if stopper is not None:
                     monitored = val_loss if val_loss is not None else train_loss
                     if stopper.update(monitored, epoch):
+                        # A pre-submitted next-epoch group may be in flight:
+                        # collect and *discard* it (no optimiser step), so a
+                        # stopped overlapped run ends with exactly the
+                        # parameters of the non-overlapped one.
+                        if pending:
+                            executor.collect_group()
+                            pending = False
                         break
         finally:
+            if pending:
+                try:
+                    executor.collect_group()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
+            if current is not None:
+                current.close()
+            if carried is not None:
+                carried[0].close()
             if executor is not None:
                 executor.close()
         return self.history
@@ -337,7 +564,7 @@ class RouteNetTrainer:
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
-    def save_checkpoint(self, path: str) -> str:
+    def save_checkpoint(self, path: str, rng_state: Optional[dict] = None) -> str:
         """Write a full training checkpoint so a resumed run is *exact*.
 
         The checkpoint round-trips everything a bit-identical resume needs:
@@ -346,6 +573,12 @@ class RouteNetTrainer:
         ``1/(1 - beta**step)`` bias correction to the wrong statistics),
         the fitted normaliser, the recorded history and the trainer's RNG
         state (so epoch shuffling continues the same stream).
+
+        ``rng_state`` overrides the recorded RNG state: ``fit``'s overlap
+        mode plans the *next* epoch (consuming a shuffle draw) before it
+        writes the epoch's checkpoint, so it passes the state captured just
+        before that planning — a resumed run then re-draws the plan and
+        follows the uninterrupted trajectory bit for bit.
 
         Format: a compressed ``.npz`` holding the arrays (``model.<name>``
         weights and ``optim.<buffer>.<i>`` optimiser moments) plus a JSON
@@ -373,7 +606,8 @@ class RouteNetTrainer:
                            if self.normalizer is not None and self.normalizer.fitted
                            else None),
             "history": self.history.as_dict(),
-            "rng_state": self._rng.bit_generator.state,
+            "rng_state": (rng_state if rng_state is not None
+                          else self._rng.bit_generator.state),
         }
         if not path.endswith(".npz"):
             path = path + ".npz"
@@ -422,14 +656,16 @@ class RouteNetTrainer:
         # Settings that silently change what is being optimised must match;
         # epochs (each fit trains that many *more*), learning_rate (a
         # deliberate fine-tuning knob; the schedule is re-derived from it),
-        # parallel_backend (bit-identical engines), seed (the restored RNG
-        # state supersedes it) and log_every are free to differ.
+        # parallel_backend and overlap (bit-identical engines),
+        # prefetch_depth (a queue bound), seed (the restored RNG state
+        # supersedes it) and log_every are free to differ.  stream_window
+        # must match because it decides streamed batch membership.
         saved_config = metadata.get("trainer_config", {})
         mismatched = {
             field: (saved_config[field], getattr(self.config, field))
             for field in ("loss", "target", "dtype", "batch_size",
                           "bucket_by_length", "shuffle", "gradient_clip_norm",
-                          "num_workers")
+                          "num_workers", "stream_window")
             if field in saved_config and saved_config[field] != getattr(self.config, field)
         }
         if mismatched:
@@ -453,12 +689,19 @@ class RouteNetTrainer:
             self.normalizer = FeatureNormalizer.from_dict(metadata["normalizer"])
         self.history = History()
         recorded = metadata.get("history", {})
-        for epoch, train_loss, val_loss, seconds in zip(
+        epoch_count = len(recorded.get("epochs", []))
+        # Throughput columns are absent from pre-PR-5 checkpoints.
+        recorded_sps = recorded.get("samples_per_sec") or [None] * epoch_count
+        recorded_peaks = recorded.get("peak_live_batches") or [None] * epoch_count
+        for epoch, train_loss, val_loss, seconds, sps, peak in zip(
                 recorded.get("epochs", []), recorded.get("train_loss", []),
-                recorded.get("val_loss", []), recorded.get("epoch_seconds", [])):
+                recorded.get("val_loss", []), recorded.get("epoch_seconds", []),
+                recorded_sps, recorded_peaks):
             self.history.record(int(epoch), float(train_loss),
                                 None if val_loss is None else float(val_loss),
-                                float(seconds))
+                                float(seconds),
+                                samples_per_sec=None if sps is None else float(sps),
+                                peak_live_batches=None if peak is None else int(peak))
         if metadata.get("rng_state") is not None:
             self._rng.bit_generator.state = metadata["rng_state"]
         return metadata

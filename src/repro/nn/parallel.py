@@ -4,9 +4,8 @@ The per-step Python loop — building the autograd graph, running the RNN
 scan, the backward pass — is the training bottleneck once memory is under
 control (see ROADMAP).  This module parallelises it across batches with a
 persistent pool of worker *processes*: each worker holds a full model
-replica, the parent broadcasts the current parameters as one flat vector
-(:meth:`repro.nn.module.Module.parameters_vector`), every worker runs
-forward + backward on one merged batch of its cached shard and returns
+replica, the parent broadcasts the current parameters, every worker runs
+forward + backward on one merged batch and returns
 ``(flat_gradient, loss, num_paths)``, and the parent path-weight-averages
 the gradients and takes a single optimiser step.
 
@@ -26,12 +25,28 @@ the members: :class:`SerialGradientExecutor` executes the identical
 semantics in-process, and the equivalence tests hold the two engines to
 bit-identical parameter trajectories.
 
-The pool ships each worker the *whole* list of batches once per upload —
-every worker holds a private copy, so worker-side memory is
-``num_workers x`` the batch arrays (cheap at our dataset scales; a
-worker-sharded upload would pin batch→worker assignment and lose the
-shuffled grouping).  Per step only the flat parameter vector and a batch
-index travel to each worker, and the flat gradient travels back.
+Double-buffered parameter broadcast
+-----------------------------------
+Parameters travel through a shared-memory ring of **two** flat buffers
+allocated at pool start: per group the parent writes the current parameter
+vector into the next slot (one memcpy, instead of pickling the vector once
+per worker through a pipe) and each step message carries only the slot
+index plus a batch reference.  Two slots mean the broadcast for group
+``k+1`` never overwrites the buffer group ``k`` was read from, so the
+parent may publish new parameters the moment its optimiser step finishes —
+the mechanism behind the trainer's ``overlap`` mode, where the parent
+submits the next group (:meth:`GradientWorkerPool.submit_group`) and only
+then does its per-epoch bookkeeping, validation pass and checkpoint write
+while the workers are already computing (:meth:`collect_group` picks the
+results up later).  Overlap never changes *what* is computed — submitted
+parameters are always the fully-updated post-step vector — so overlapped
+and non-overlapped runs are bit-identical.
+
+Batches reach workers one of two ways: :meth:`set_batches` uploads a list
+once and steps reference batches by index (the in-memory trainer, whose
+pre-merged batches are reused every epoch), or
+:meth:`submit_group_payload` ships the merged batches inside the step
+messages (the streaming trainer, whose batches exist only transiently).
 """
 
 from __future__ import annotations
@@ -108,12 +123,16 @@ def _replicate(model: Module) -> Module:
     return pickle.loads(pickle.dumps(model))
 
 
-def _worker_main(conn, payload: bytes) -> None:
+def _worker_main(conn, payload: bytes, param_buffer, param_dtype: str,
+                 param_count: int) -> None:
     """Worker process loop: cache batches, answer gradient requests.
 
     Protocol (parent → worker):
       ``("batches", [TensorizedSample, ...])``  replace the cached shard;
-      ``("step", flat_params, batch_index)``    load parameters, compute;
+      ``("step", slot, batch_index)``           read the parameters from
+                                                shared-memory ``slot``,
+                                                compute on a cached batch;
+      ``("step_payload", slot, batch)``         same, on a shipped batch;
       ``("close",)``                            exit.
     Replies: ``("ok", ...)`` or ``("error", traceback_string)``.
     """
@@ -124,6 +143,16 @@ def _worker_main(conn, payload: bytes) -> None:
         conn.close()
         return
     conn.send(("ok",))
+    item_size = np.dtype(param_dtype).itemsize
+
+    def load_params(slot: int) -> None:
+        # A read-only view into the shared slot; load_parameters_vector
+        # copies per parameter, so nothing in the model aliases the buffer
+        # once this returns (the parent is free to rewrite the other slot).
+        view = np.frombuffer(param_buffer, dtype=param_dtype, count=param_count,
+                             offset=slot * param_count * item_size)
+        model.load_parameters_vector(view)
+
     batches: list = []
     try:
         while True:
@@ -132,11 +161,12 @@ def _worker_main(conn, payload: bytes) -> None:
             if kind == "batches":
                 batches = list(message[1])
                 conn.send(("ok", len(batches)))
-            elif kind == "step":
+            elif kind in ("step", "step_payload"):
                 try:
-                    _, flat_params, batch_index = message
-                    model.load_parameters_vector(flat_params)
-                    result = _compute_gradient(model, batches[batch_index], loss_name)
+                    _, slot, work = message
+                    load_params(slot)
+                    batch = batches[work] if kind == "step" else work
+                    result = _compute_gradient(model, batch, loss_name)
                     conn.send(("ok",) + result)
                 except Exception:  # noqa: BLE001 - ship the traceback to the parent
                     conn.send(("error", traceback.format_exc()))
@@ -154,10 +184,18 @@ def _worker_main(conn, payload: bytes) -> None:
 
 
 class _ExecutorBase:
-    """Shared batch-upload bookkeeping for both execution engines."""
+    """Shared bookkeeping for both execution engines.
+
+    Both engines expose the same two-phase interface: :meth:`submit_group`
+    / :meth:`submit_group_payload` hand a group of work out (at most one
+    group in flight), :meth:`collect_group` returns its results.  The
+    one-shot :meth:`run_group` / :meth:`run_group_payload` wrappers keep
+    the original synchronous call style.
+    """
 
     def __init__(self) -> None:
         self._uploaded_ids: Optional[tuple] = None
+        self._in_flight: Optional[int] = None
 
     def set_batches(self, batches: Sequence) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -174,9 +212,34 @@ class _ExecutorBase:
             self.set_batches(batches)
             self._uploaded_ids = ids
 
-    def run_group(self, flat_params: np.ndarray,
-                  indices: Sequence[int]) -> List[GradientResult]:  # pragma: no cover
+    # ------------------------------------------------------------------ #
+    def _check_idle(self) -> None:
+        if self._in_flight is not None:
+            raise RuntimeError(
+                "a group is already in flight; collect_group() it first")
+
+    def submit_group(self, flat_params: np.ndarray,
+                     indices: Sequence[int]) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def submit_group_payload(self, flat_params: np.ndarray,
+                             batches: Sequence) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def collect_group(self) -> List[GradientResult]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run_group(self, flat_params: np.ndarray,
+                  indices: Sequence[int]) -> List[GradientResult]:
+        """Synchronous submit + collect over cached-batch indices."""
+        self.submit_group(flat_params, indices)
+        return self.collect_group()
+
+    def run_group_payload(self, flat_params: np.ndarray,
+                          batches: Sequence) -> List[GradientResult]:
+        """Synchronous submit + collect over shipped batches."""
+        self.submit_group_payload(flat_params, batches)
+        return self.collect_group()
 
     def close(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -194,6 +257,10 @@ class SerialGradientExecutor(_ExecutorBase):
     Runs every group member sequentially on a pickle-round-tripped replica —
     no processes, no IPC — so ``num_workers > 1`` training can be executed
     (and debugged, and tested for bit-exact equivalence) on a single core.
+    ``submit_group`` merely records the work; the compute happens at
+    :meth:`collect_group`, which makes the engine a semantics twin of the
+    pool under the trainer's overlap mode too (no wall-clock overlap, same
+    parameter trajectory).
     """
 
     def __init__(self, model: Module, num_workers: int = 1, loss: str = "mse") -> None:
@@ -204,30 +271,52 @@ class SerialGradientExecutor(_ExecutorBase):
         self._loss_name = loss
         self._replica = _replicate(model)
         self._batches: list = []
+        self._pending = None
 
     def set_batches(self, batches: Sequence) -> None:
         self._batches = list(batches)
 
-    def run_group(self, flat_params: np.ndarray,
-                  indices: Sequence[int]) -> List[GradientResult]:
+    def submit_group(self, flat_params: np.ndarray,
+                     indices: Sequence[int]) -> None:
+        self._check_idle()
+        self._pending = ("indices", list(indices), np.asarray(flat_params))
+        self._in_flight = len(self._pending[1])
+
+    def submit_group_payload(self, flat_params: np.ndarray,
+                             batches: Sequence) -> None:
+        self._check_idle()
+        self._pending = ("payload", list(batches), np.asarray(flat_params))
+        self._in_flight = len(self._pending[1])
+
+    def collect_group(self) -> List[GradientResult]:
+        if self._pending is None:
+            raise RuntimeError("no group in flight")
+        kind, members, flat_params = self._pending
+        self._pending = None
+        self._in_flight = None
         results = []
-        for index in indices:
+        for member in members:
             self._replica.load_parameters_vector(flat_params)
-            results.append(_compute_gradient(self._replica, self._batches[index],
+            batch = self._batches[member] if kind == "indices" else member
+            results.append(_compute_gradient(self._replica, batch,
                                              self._loss_name))
         return results
 
     def close(self) -> None:
         self._batches = []
+        self._pending = None
+        self._in_flight = None
 
 
 class GradientWorkerPool(_ExecutorBase):
     """A persistent pool of worker processes computing per-batch gradients.
 
     Each worker is started once with a pickled replica of ``model`` and kept
-    alive for the executor's lifetime; :meth:`run_group` then costs one
-    parameter broadcast and one gradient return per member.  Workers cache
-    the uploaded batch list, so batch payloads do not travel per step.
+    alive for the executor's lifetime; a group then costs one shared-memory
+    parameter publish plus one small step message per member, and one flat
+    gradient back per member.  Workers cache an uploaded batch list (steps
+    reference indices into it), or receive streaming batches inline via
+    :meth:`submit_group_payload`.
 
     Parameters
     ----------
@@ -254,13 +343,24 @@ class GradientWorkerPool(_ExecutorBase):
             start_method = "fork" if "fork" in available else "spawn"
         context = mp.get_context(start_method)
         payload = pickle.dumps((model, loss))
+        # The double-buffered broadcast ring: two flat parameter slots in
+        # shared memory, written alternately (see the module docstring).
+        template = model.parameters_vector()
+        self._param_dtype = template.dtype
+        self._param_count = int(template.size)
+        slot_bytes = max(1, self._param_count * self._param_dtype.itemsize)
+        self._param_buffer = context.RawArray("b", 2 * slot_bytes)
+        self._next_slot = 0
         self._connections = []
         self._processes = []
         try:
             for _ in range(num_workers):
                 parent_conn, child_conn = context.Pipe()
-                process = context.Process(target=_worker_main,
-                                          args=(child_conn, payload), daemon=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, payload, self._param_buffer,
+                          self._param_dtype.str, self._param_count),
+                    daemon=True)
                 process.start()
                 child_conn.close()
                 self._connections.append(parent_conn)
@@ -305,21 +405,54 @@ class GradientWorkerPool(_ExecutorBase):
         for rank in range(self.num_workers):
             self._expect_ok(rank)
 
-    def run_group(self, flat_params: np.ndarray,
-                  indices: Sequence[int]) -> List[GradientResult]:
-        """Compute gradients for ``indices`` (one batch per worker, round-robin).
+    def _publish_params(self, flat_params: np.ndarray) -> int:
+        """Write the parameter vector into the next ring slot; return it."""
+        flat = np.asarray(flat_params, dtype=self._param_dtype).reshape(-1)
+        if flat.size != self._param_count:
+            raise ValueError(
+                f"expected a flat vector of {self._param_count} parameters, "
+                f"got {flat.size}")
+        slot = self._next_slot
+        self._next_slot = 1 - slot
+        view = np.frombuffer(self._param_buffer, dtype=self._param_dtype,
+                             count=self._param_count,
+                             offset=slot * self._param_count * self._param_dtype.itemsize)
+        view[:] = flat
+        return slot
 
-        Results come back in ``indices`` order regardless of which worker
-        finishes first, so downstream averaging is deterministic.
-        """
-        indices = list(indices)
-        for position, batch_index in enumerate(indices):
-            rank = position % self.num_workers
-            self._send(rank, ("step", flat_params, batch_index))
+    def _submit(self, flat_params: np.ndarray, kind: str, members: list) -> None:
+        self._check_idle()
+        slot = self._publish_params(flat_params)
+        for position, member in enumerate(members):
+            self._send(position % self.num_workers, (kind, slot, member))
+        self._in_flight = len(members)
+
+    def submit_group(self, flat_params: np.ndarray,
+                     indices: Sequence[int]) -> None:
+        """Dispatch a group of cached-batch indices (round-robin) and return
+        immediately; :meth:`collect_group` gathers the gradients.  The
+        parameters are published to the shared ring *now*, so the caller may
+        keep mutating its own model afterwards."""
+        self._submit(flat_params, "step", [int(i) for i in indices])
+
+    def submit_group_payload(self, flat_params: np.ndarray,
+                             batches: Sequence) -> None:
+        """Dispatch a group of batches shipped inside the step messages —
+        the streaming-trainer path, where batches are transient and never
+        uploaded as a cached list."""
+        self._submit(flat_params, "step_payload", list(batches))
+
+    def collect_group(self) -> List[GradientResult]:
+        """Gather the in-flight group's results, in submission order
+        regardless of which worker finishes first, so downstream averaging
+        is deterministic."""
+        if self._in_flight is None:
+            raise RuntimeError("no group in flight")
+        count = self._in_flight
+        self._in_flight = None
         results: List[GradientResult] = []
-        for position in range(len(indices)):
-            rank = position % self.num_workers
-            reply = self._expect_ok(rank)
+        for position in range(count):
+            reply = self._expect_ok(position % self.num_workers)
             results.append((reply[1], reply[2], reply[3]))
         return results
 

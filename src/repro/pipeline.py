@@ -78,6 +78,7 @@ def run_fig2_experiment(
     scan_mode: str = "stream",
     bucket_by_length: bool = True,
     num_workers: int = 1,
+    overlap: bool = False,
     seed: int = 0,
     backend: str = "analytic",
     utilization_range=(0.35, 0.8),
@@ -94,7 +95,10 @@ def run_fig2_experiment(
     ``bucket_by_length`` groups similar-length scenarios per merged batch
     when ``batch_size > 1``.  ``num_workers > 1`` trains data-parallel: each
     optimisation step path-weight-averages the gradients of up to that many
-    batches computed concurrently on worker-process model replicas.
+    batches computed concurrently on worker-process model replicas;
+    ``overlap`` additionally pipelines the parent's optimiser step and
+    bookkeeping with the next group's worker compute (double-buffered
+    parameter broadcast, bit-identical results).
     """
     train_topology = train_topology if train_topology is not None else geant2_topology()
     generalization_topology = (generalization_topology if generalization_topology is not None
@@ -132,7 +136,8 @@ def run_fig2_experiment(
     trainer_config = TrainerConfig(epochs=epochs, learning_rate=learning_rate,
                                    batch_size=batch_size, dtype=dtype,
                                    bucket_by_length=bucket_by_length,
-                                   num_workers=num_workers, seed=seed)
+                                   num_workers=num_workers, overlap=overlap,
+                                   seed=seed)
 
     cdfs: Dict[str, ErrorCDF] = {}
     metrics: Dict[str, Dict[str, object]] = {}

@@ -1,0 +1,254 @@
+"""Tests for the sharded dataset store (format 2) and the storage-layer
+satellites: streamed atomic format-1 saves and suffix-tolerant loading."""
+
+import gzip
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    FeatureNormalizer,
+    ShardedDatasetReader,
+    ShardedDatasetWriter,
+    attach_normalizer,
+    generate_dataset,
+    is_sharded_store,
+    load_dataset,
+    save_dataset,
+)
+from repro.datasets.sharded import MANIFEST_NAME, shard_size_for
+from repro.topology import ring_topology
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return generate_dataset(ring_topology(5),
+                            DatasetConfig(num_samples=7, seed=11,
+                                          small_queue_fraction=0.5))
+
+
+@pytest.fixture(scope="module")
+def normalizer(samples):
+    return FeatureNormalizer().fit(samples)
+
+
+class TestShardedWriterReader:
+    def test_round_trip_with_shard_rolling(self, tmp_path, samples, normalizer):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=3, normalizer=normalizer,
+                                  metadata={"purpose": "test"}) as writer:
+            for sample in samples:
+                writer.write(sample)
+            assert writer.num_samples == len(samples)
+        reader = ShardedDatasetReader(store)
+        assert len(reader) == 7
+        assert reader.num_shards == 3  # 3 + 3 + 1
+        assert [shard["num_samples"] for shard in reader.shards] == [3, 3, 1]
+        assert reader.metadata == {"purpose": "test"}
+        assert reader.normalizer.means == normalizer.means
+        loaded = reader.read_all()
+        assert len(loaded) == 7
+        for original, rebuilt in zip(samples, loaded):
+            np.testing.assert_allclose(rebuilt.delays, original.delays)
+            assert rebuilt.pair_order == original.pair_order
+            assert rebuilt.queue_sizes() == original.queue_sizes()
+
+    def test_shard_files_and_manifest_layout(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4) as writer:
+            for sample in samples:
+                writer.write(sample)
+        names = sorted(os.listdir(store))
+        assert names == [MANIFEST_NAME, "shard-00000.jsonl.gz", "shard-00001.jsonl.gz"]
+        with open(os.path.join(store, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == 2
+        assert manifest["total_samples"] == 7
+        assert manifest["normalizer"] is None
+        # Shards really are one JSON document per line.
+        with gzip.open(os.path.join(store, "shard-00000.jsonl.gz"), "rt") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 4
+        json.loads(lines[0])
+
+    def test_iteration_matches_read_all_and_restarts(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=2) as writer:
+            for sample in samples:
+                writer.write(sample)
+        reader = ShardedDatasetReader(store)
+        first_pass = [s.delays for s in reader]
+        second_pass = [s.delays for s in reader]  # fresh pass per iter()
+        assert len(first_pass) == len(second_pass) == 7
+        for a, b in zip(first_pass, second_pass):
+            np.testing.assert_array_equal(a, b)
+
+    def test_aborted_writer_leaves_no_manifest(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with pytest.raises(RuntimeError):
+            with ShardedDatasetWriter(store, shard_size=10) as writer:
+                writer.write(samples[0])
+                raise RuntimeError("simulated crash")
+        assert not is_sharded_store(store)
+        # No half-written temp shards left behind either.
+        assert [n for n in os.listdir(store) if n.endswith(".tmp")] == []
+        with pytest.raises(FileNotFoundError):
+            ShardedDatasetReader(store)
+
+    def test_rewrite_is_atomic_at_the_manifest(self, tmp_path, samples):
+        """Rewriting an existing store must keep the old generation fully
+        readable until the new manifest lands: new shards use fresh names,
+        an aborted rewrite leaves the old data untouched, and a committed
+        one swaps the contents and deletes the superseded shard files."""
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=2) as writer:
+            for sample in samples:
+                writer.write(sample)
+        assert len(ShardedDatasetReader(store)) == 7
+
+        # Mid-rewrite (shards already sealed) the old store still reads.
+        rewriter = ShardedDatasetWriter(store, shard_size=1)
+        rewriter.write(samples[0])
+        rewriter.write(samples[1])
+        assert len(ShardedDatasetReader(store)) == 7
+        rewriter.abort()  # simulated crash: old data intact, no new residue
+        assert len(ShardedDatasetReader(store)) == 7
+        assert len([n for n in os.listdir(store)
+                    if n.startswith("shard-")]) == 4
+
+        with ShardedDatasetWriter(store, shard_size=4) as writer:
+            for sample in samples[:4]:
+                writer.write(sample)
+        reader = ShardedDatasetReader(store)
+        assert len(reader) == 4
+        # The superseded generation's files were cleaned after the commit.
+        on_disk = {n for n in os.listdir(store) if n.startswith("shard-")}
+        assert on_disk == {shard["name"] for shard in reader.shards}
+
+    def test_attach_normalizer_after_the_fact(self, tmp_path, samples, normalizer):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4) as writer:
+            for sample in samples:
+                writer.write(sample)
+        assert ShardedDatasetReader(store).normalizer is None
+        # The intended streaming flow: fit on a reader pass, then attach.
+        fitted = FeatureNormalizer().fit(ShardedDatasetReader(store))
+        attach_normalizer(store, fitted)
+        assert ShardedDatasetReader(store).normalizer.means == fitted.means
+        assert fitted.means == normalizer.means
+
+    def test_truncated_shard_detected(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4) as writer:
+            for sample in samples:
+                writer.write(sample)
+        manifest_path = os.path.join(store, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["shards"][0]["num_samples"] += 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            list(ShardedDatasetReader(store))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedDatasetWriter(str(tmp_path / "s"), shard_size=0)
+        with pytest.raises(ValueError):
+            shard_size_for(10, 0)
+        assert shard_size_for(7, 3) == 3
+        assert shard_size_for(0, 4) == 1
+
+
+class TestStorageIntegration:
+    def test_save_dataset_shards_option_round_trips(self, tmp_path, samples,
+                                                    normalizer):
+        store = save_dataset(samples, str(tmp_path / "store"),
+                             normalizer=normalizer, metadata={"k": 1}, shards=2)
+        assert is_sharded_store(store)
+        assert ShardedDatasetReader(store).num_shards == 2
+        loaded, loaded_normalizer, metadata = load_dataset(store)
+        assert len(loaded) == len(samples)
+        assert metadata == {"k": 1}
+        assert loaded_normalizer.means == normalizer.means
+        np.testing.assert_allclose(loaded[3].delays, samples[3].delays)
+
+    def test_format1_save_accepts_a_generator(self, tmp_path, samples):
+        path = save_dataset((s for s in samples), str(tmp_path / "gen"))
+        loaded, _, _ = load_dataset(path)
+        assert len(loaded) == len(samples)
+        np.testing.assert_allclose(loaded[0].delays, samples[0].delays)
+
+    def test_format1_payload_unchanged(self, tmp_path, samples, normalizer):
+        """The streamed writer must produce the exact format-1 schema."""
+        path = save_dataset(samples[:2], str(tmp_path / "fmt1"),
+                            normalizer=normalizer, metadata={"a": "b"})
+        with gzip.open(path, "rt") as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 1
+        assert payload["metadata"] == {"a": "b"}
+        assert payload["normalizer"] == normalizer.to_dict()
+        assert len(payload["samples"]) == 2
+
+    def test_failed_save_leaves_nothing_behind(self, tmp_path, samples):
+        class Exploding:
+            def __iter__(self):
+                yield samples[0]
+                raise RuntimeError("boom")
+
+        target = str(tmp_path / "crash")
+        with pytest.raises(RuntimeError, match="boom"):
+            save_dataset(Exploding(), target)
+        assert os.listdir(tmp_path) == []  # no dataset, no .tmp residue
+
+    def test_load_checks_exact_path_before_suffixing(self, tmp_path, samples):
+        # A dataset deliberately saved under a suffix-less name must load by
+        # its exact path instead of erroring about '<name>.json.gz'.
+        canonical = save_dataset(samples[:2], str(tmp_path / "named"))
+        bare = str(tmp_path / "bare")
+        os.replace(canonical, bare)
+        loaded, _, _ = load_dataset(bare)
+        assert len(loaded) == 2
+
+    def test_missing_dataset_error_names_both_candidates(self, tmp_path):
+        missing = str(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_dataset(missing)
+        assert missing in str(excinfo.value)
+        assert missing + ".json.gz" in str(excinfo.value)
+
+    def test_plain_directory_is_not_a_dataset(self, tmp_path):
+        directory = tmp_path / "plain"
+        directory.mkdir()
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            load_dataset(str(directory))
+
+    def test_manifestless_directory_does_not_shadow_suffixed_file(self, tmp_path,
+                                                                  samples):
+        """The residue of an aborted sharded write (a directory with no
+        manifest) must not shadow a good '<path>.json.gz' next to it."""
+        save_dataset(samples[:2], str(tmp_path / "data"))
+        (tmp_path / "data").mkdir()  # aborted-write residue
+        loaded, _, _ = load_dataset(str(tmp_path / "data"))
+        assert len(loaded) == 2
+
+    def test_sharded_save_does_not_copy_sized_inputs(self, tmp_path, samples):
+        """save_dataset(shards=N) must consume sized inputs as-is (no list()
+        copy of a larger-than-RAM reader) — only unsized iterators buffer."""
+        class CountingSequence:
+            def __init__(self, items):
+                self.items = items
+                self.iterations = 0
+            def __len__(self):
+                return len(self.items)
+            def __iter__(self):
+                self.iterations += 1
+                return iter(self.items)
+
+        source = CountingSequence(samples)
+        store = save_dataset(source, str(tmp_path / "sized"), shards=2)
+        assert source.iterations == 1  # streamed straight through, once
+        assert len(ShardedDatasetReader(store)) == len(samples)
