@@ -9,7 +9,9 @@ sizes (several times slower) for tighter curves.
 from __future__ import annotations
 
 import os
+import platform
 
+import numpy as np
 import pytest
 
 #: Scaled-down defaults (samples, epochs) used by the training benchmarks.
@@ -36,3 +38,17 @@ def bench_scale() -> dict:
     if os.environ.get("REPRO_BENCH_SCALE", "small").lower() == "full":
         return dict(FULL_SCALE)
     return dict(SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def host_metadata() -> dict:
+    """Host facts stamped onto every row written to ``BENCH_throughput.json``,
+    so absolute samples/sec figures are interpretable across machines (and a
+    regression vs the committed baseline can be discounted when the host
+    changed)."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }

@@ -59,7 +59,7 @@ BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_throughpu
 
 #: Accumulated measurements, dumped to ``BENCH_throughput.json`` after the
 #: module runs.  Keys are stringified so the JSON round-trips cleanly.
-RESULTS: dict = {"scan_mode_default": "stream"}
+RESULTS: dict = {"scan_mode_default": "compiled"}
 
 
 def _resolved_dtype_name(dtype) -> str:
@@ -67,7 +67,7 @@ def _resolved_dtype_name(dtype) -> str:
 
 
 @pytest.fixture(scope="module", autouse=True)
-def _write_bench_json():
+def _write_bench_json(host_metadata):
     """Merge every measurement this module produced into the repo-root JSON.
 
     Read-update-write rather than overwrite, so a partial run (``-k`` subset,
@@ -77,6 +77,9 @@ def _write_bench_json():
     yield
     RESULTS["unit"] = {"throughput": "trained samples per second",
                        "peak_memory": "tracemalloc peak bytes"}
+    for key, row in RESULTS.items():
+        if isinstance(row, dict) and key != "unit":
+            row.setdefault("host", host_metadata)
     merged: dict = {}
     if BENCH_JSON_PATH.exists():
         try:

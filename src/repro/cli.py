@@ -68,11 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="node count when --topology random")
     generate.add_argument("--dataset-shards", type=int, default=None,
                           help="write a sharded store directory of this many "
-                               "gzipped JSONL shards instead of one .json.gz "
-                               "blob: samples stream straight to disk during "
-                               "generation (O(1) live samples), and 'train "
+                               "shards instead of one .json.gz blob: samples "
+                               "stream straight to disk during generation "
+                               "(O(1) live samples), and 'train "
                                "--prefetch-depth' can later stream epochs out "
                                "of it without loading the dataset")
+    generate.add_argument("--shard-payload", choices=["binary", "jsonl"],
+                          default="binary",
+                          help="with --dataset-shards: shard encoding — "
+                               "'binary' (default) writes format-3 npz array "
+                               "shards that load without JSON parsing; "
+                               "'jsonl' writes the format-2 gzipped-JSONL "
+                               "shards readable by older checkouts")
     generate.add_argument("--output", required=True,
                           help="output dataset path (.json.gz, or a store "
                                "directory with --dataset-shards)")
@@ -88,10 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training precision: float32 roughly halves the "
                             "memory footprint of large-batch training "
                             "(default: float64)")
-    train.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
-                       help="path-RNN formulation: 'stream' recomputes the scan "
-                            "in backward (flat peak memory on large merged "
-                            "graphs); 'stacked' materialises per-step outputs "
+    train.add_argument("--scan-mode", choices=["compiled", "stream", "stacked"],
+                       default="compiled",
+                       help="path-RNN formulation: 'compiled' (default) runs "
+                            "the streaming scan through precompiled "
+                            "per-topology step kernels (fastest); 'stream' is "
+                            "the interpreted streaming scan (same flat peak "
+                            "memory); 'stacked' materialises per-step outputs "
                             "(the pre-streaming formulation)")
     train.add_argument("--bucket-by-length", action=argparse.BooleanOptionalAction,
                        default=True,
@@ -137,9 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--dtype", choices=["float32", "float64"], default=None,
                           help="inference precision (default: the dtype recorded "
                                "in the checkpoint metadata, float64 if absent)")
-    evaluate.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
-                          help="path-RNN formulation for inference ('stream' keeps "
-                               "evaluation peak memory flat on large scenarios)")
+    evaluate.add_argument("--scan-mode", choices=["compiled", "stream", "stacked"],
+                          default="compiled",
+                          help="path-RNN formulation for inference ('compiled' "
+                               "and 'stream' keep evaluation peak memory flat "
+                               "on large scenarios; 'compiled' is fastest)")
 
     fig2 = subparsers.add_parser("fig2", help="run the Fig. 2 experiment end to end")
     fig2.add_argument("--train-samples", type=int, default=40)
@@ -149,7 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scenarios merged into one optimisation step")
     fig2.add_argument("--dtype", choices=["float32", "float64"], default=None,
                       help="training/evaluation precision (default: float64)")
-    fig2.add_argument("--scan-mode", choices=["stream", "stacked"], default="stream",
+    fig2.add_argument("--scan-mode", choices=["compiled", "stream", "stacked"],
+                      default="compiled",
                       help="path-RNN formulation (see 'train --scan-mode')")
     fig2.add_argument("--bucket-by-length", action=argparse.BooleanOptionalAction,
                       default=True,
@@ -186,7 +199,8 @@ def _command_generate(args: argparse.Namespace) -> int:
         with ShardedDatasetWriter(args.output,
                                   shard_size=shard_size_for(args.samples,
                                                             args.dataset_shards),
-                                  metadata=metadata) as writer:
+                                  metadata=metadata,
+                                  payload=args.shard_payload) as writer:
             count = generate_dataset(topology, config, writer=writer)
         reader = ShardedDatasetReader(args.output)
         attach_normalizer(args.output, FeatureNormalizer().fit(reader))
@@ -202,7 +216,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _build_model(name: str, state_dim: int, iterations: int, seed: int = 0,
-                 dtype: Optional[str] = None, scan_mode: str = "stream"):
+                 dtype: Optional[str] = None, scan_mode: str = "compiled"):
     config = RouteNetConfig(link_state_dim=state_dim, path_state_dim=state_dim,
                             node_state_dim=state_dim,
                             message_passing_iterations=iterations, seed=seed,

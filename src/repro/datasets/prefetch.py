@@ -110,10 +110,16 @@ class BatchPrefetcher:
     Iterate over the prefetcher to consume one epoch's batches; the producer
     thread stays at most ``prefetch_depth`` merged batches ahead of the
     consumer (the queue bound provides backpressure).  Exceptions raised
-    while reading/tensorising propagate to the consumer at the point of
-    iteration.  :meth:`close` stops the producer early (idempotent; also
+    while reading/tensorising propagate to the consumer **promptly**: the
+    next ``__next__`` after the producer dies re-raises the producer's error
+    (after joining the thread), even when intact batches are still queued
+    ahead of it — a failed epoch surfaces at the next step, not after the
+    queue drains.  :meth:`close` stops the producer early (idempotent; also
     called automatically when the stream is exhausted), and **must** be
-    called before the owner reuses the RNG, since the producer draws from it.
+    called before the owner reuses the RNG, since the producer draws from
+    it.  Use the prefetcher as a context manager so that a consumer raising
+    mid-epoch still stops, drains and joins the producer thread on the way
+    out (``__exit__`` calls :meth:`close`).
 
     ``peak_live_batches`` records the highest number of merged batches that
     were simultaneously materialised (queued or in flight, plus the one the
@@ -206,6 +212,11 @@ class BatchPrefetcher:
     def __next__(self) -> TensorizedSample:
         if self._stop.is_set():
             raise StopIteration
+        if self._error is not None:
+            # The producer died while batches it queued earlier were still
+            # pending: surface the failure now instead of handing out the
+            # rest of a partial epoch first.
+            self._finish_with_error()
         item = self._queue.get()
         if item is self._DONE:
             self._stop.set()
@@ -216,6 +227,12 @@ class BatchPrefetcher:
         self._track(-1, item.nbytes)
         self.batches_yielded += 1
         return item
+
+    def _finish_with_error(self) -> None:
+        """Stop, drain and join the producer, then re-raise its error."""
+        error = self._error
+        self.close()
+        raise error
 
     def close(self) -> None:
         """Stop the producer and release queued batches (idempotent).

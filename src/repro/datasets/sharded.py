@@ -1,19 +1,35 @@
-"""Sharded on-disk dataset store: gzipped JSONL shards plus a manifest.
+"""Sharded on-disk dataset store: JSONL or binary npz shards plus a manifest.
 
-Format 2 of the dataset storage layer (format 1 is the single ``.json.gz``
-blob of :mod:`repro.datasets.storage`).  A sharded store is a *directory*::
+Formats 2 and 3 of the dataset storage layer (format 1 is the single
+``.json.gz`` blob of :mod:`repro.datasets.storage`).  A sharded store is a
+*directory*::
 
     store/
-      manifest.json          <- format_version 2, shard index, normalizer
-      shard-00000.jsonl.gz   <- one JSON-encoded Sample dict per line
+      manifest.json          <- format_version 2 or 3, shard index, normalizer
+      shard-00000.jsonl.gz   <- format 2: one JSON-encoded Sample dict per line
       shard-00001.jsonl.gz
       ...
 
-Samples are written **incrementally** (one line at a time, rolling over to a
-new shard every ``shard_size`` samples), so arbitrarily large datasets can be
-generated and persisted without ever materialising the sample list — and
-read back the same way: :class:`ShardedDatasetReader` is an iterable that
-parses one sample at a time, which is what the streaming training pipeline
+or, with ``payload="binary"`` (manifest ``format_version`` 3)::
+
+    store/
+      manifest.json
+      shard-00000.npz        <- format 3: raw index/float arrays per sample
+      shard-00001.npz
+      ...
+
+The binary payload stores every sample as a handful of typed arrays
+(routing as offsets into one flat node-id vector, traffic as the dense
+float64 matrix, targets verbatim) plus one small JSON string for the
+non-array attributes, so streamed epochs read samples with **zero JSON
+parsing of numeric data** — ``np.load`` hands the arrays straight back.
+Round trips are bit-exact in both formats (JSON floats survive via repr).
+
+Samples are written **incrementally** (rolling over to a new shard every
+``shard_size`` samples), so arbitrarily large datasets can be generated and
+persisted without ever materialising the sample list — and read back the
+same way: :class:`ShardedDatasetReader` is an iterable that decodes one
+sample at a time, which is what the streaming training pipeline
 (:mod:`repro.datasets.prefetch`) consumes to run epochs in O(window) memory
 instead of O(dataset).
 
@@ -33,10 +49,15 @@ import gzip
 import json
 import math
 import os
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.sample import Sample
+from repro.routing.scheme import RoutingScheme
+from repro.topology.graph import Topology
+from repro.traffic.matrix import TrafficMatrix
 
 __all__ = [
     "MANIFEST_NAME",
@@ -48,6 +69,93 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "manifest.json"
+
+SUPPORTED_FORMAT_VERSIONS = (2, 3)
+
+
+def _encode_sample(sample: Sample) -> Tuple[dict, str]:
+    """Encode one sample as (typed arrays, JSON string of the rest).
+
+    The arrays carry everything numeric — node/link structure, routing as
+    one flat node vector plus per-path offsets, the dense traffic matrix
+    and the target vectors — in their natural dtypes; the JSON string keeps
+    only the small non-array attributes (topology name, node labels and
+    scheduling disciplines, sample metadata).
+    """
+    topology = sample.topology
+    nodes = topology.nodes()
+    node_specs = [topology.node_spec(node) for node in nodes]
+    links = topology.links()
+    node_paths = sample.routing.node_paths()
+    arrays = {
+        "node_ids": np.asarray(nodes, dtype=np.int64),
+        "queue_sizes": np.asarray([spec.queue_size for spec in node_specs],
+                                  dtype=np.int64),
+        "link_endpoints": np.asarray(
+            [[link.source, link.target] for link in links],
+            dtype=np.int64).reshape(-1, 2),
+        "link_capacities": np.asarray([link.capacity for link in links],
+                                      dtype=np.float64),
+        "link_delays": np.asarray([link.propagation_delay for link in links],
+                                  dtype=np.float64),
+        "route_pairs": np.asarray(sample.routing.pairs(),
+                                  dtype=np.int64).reshape(-1, 2),
+        "route_offsets": np.cumsum(
+            [0] + [len(path) for path in node_paths], dtype=np.int64),
+        "route_nodes": (np.concatenate([np.asarray(p, dtype=np.int64)
+                                        for p in node_paths])
+                        if node_paths else np.zeros(0, dtype=np.int64)),
+        "traffic": sample.traffic.matrix,
+        "delays": sample.delays,
+    }
+    if sample.jitters is not None:
+        arrays["jitters"] = sample.jitters
+    if sample.losses is not None:
+        arrays["losses"] = sample.losses
+    meta = json.dumps({
+        "name": topology.name,
+        "labels": [spec.label for spec in node_specs],
+        "scheduling": [spec.scheduling for spec in node_specs],
+        "metadata": dict(sample.metadata),
+    })
+    return arrays, meta
+
+
+def _decode_sample(get, available, meta_json: str) -> Sample:
+    """Rebuild a :class:`Sample` from :func:`_encode_sample` arrays.
+
+    ``get(field)`` returns the named array, ``available`` is the set of
+    fields present (the optional target vectors may be absent).  The routing
+    scheme is rebuilt without per-hop re-validation: the arrays were encoded
+    from a scheme that was already validated against this very topology, so
+    re-walking every hop on each streamed epoch would only re-prove what the
+    writer established once.
+    """
+    meta = json.loads(meta_json)
+    topology = Topology(name=meta.get("name", "topology"))
+    for node_id, queue_size, label, scheduling in zip(
+            get("node_ids"), get("queue_sizes"), meta["labels"], meta["scheduling"]):
+        topology.add_node(int(node_id), queue_size=int(queue_size),
+                          label=label, scheduling=scheduling)
+    for (source, target), capacity, delay in zip(
+            get("link_endpoints"), get("link_capacities"), get("link_delays")):
+        topology.add_link(int(source), int(target), capacity=float(capacity),
+                          propagation_delay=float(delay))
+    offsets = get("route_offsets")
+    route_nodes = get("route_nodes")
+    paths = {}
+    for k, (source, destination) in enumerate(get("route_pairs")):
+        paths[(int(source), int(destination))] = \
+            route_nodes[offsets[k]:offsets[k + 1]].tolist()
+    return Sample(
+        topology=topology,
+        routing=RoutingScheme(topology, paths, validate=False),
+        traffic=TrafficMatrix(get("traffic")),
+        delays=get("delays"),
+        jitters=get("jitters") if "jitters" in available else None,
+        losses=get("losses") if "losses" in available else None,
+        metadata=meta.get("metadata", {}),
+    )
 
 
 def is_sharded_store(path: str) -> bool:
@@ -80,6 +188,12 @@ class ShardedDatasetWriter:
         readable.
     shard_size:
         Samples per shard (the last shard may be smaller).
+    payload:
+        Shard encoding: ``"jsonl"`` (default) writes format-2 gzipped-JSONL
+        shards; ``"binary"`` writes format-3 ``.npz`` shards whose samples
+        are typed arrays that load back with zero JSON parsing of numeric
+        data (the fast path for streamed epochs).  The manifest records the
+        choice as ``format_version`` 2 / 3 plus a ``payload`` key.
     normalizer / metadata:
         Stored in the manifest.  The normaliser can also be attached after
         the fact with :meth:`set_normalizer` (before :meth:`close`) or
@@ -93,15 +207,22 @@ class ShardedDatasetWriter:
 
     def __init__(self, path: str, shard_size: int = 256,
                  normalizer: Optional[FeatureNormalizer] = None,
-                 metadata: Optional[dict] = None) -> None:
+                 metadata: Optional[dict] = None,
+                 payload: str = "jsonl") -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be at least 1")
+        if payload not in ("jsonl", "binary"):
+            raise ValueError(
+                f"payload must be 'jsonl' or 'binary', got {payload!r}")
         self.path = path
         self.shard_size = shard_size
+        self.payload = payload
         self._normalizer = normalizer
         self._metadata = dict(metadata) if metadata else {}
         self._shards: List[dict] = []
         self._handle = None
+        #: Encoded (arrays, meta) of the open binary shard's samples.
+        self._pending: List[Tuple[dict, str]] = []
         self._current_count = 0
         self._closed = False
         os.makedirs(path, exist_ok=True)
@@ -127,7 +248,8 @@ class ShardedDatasetWriter:
 
     # ------------------------------------------------------------------ #
     def _shard_name(self) -> str:
-        return f"{self._name_prefix}{len(self._shards):05d}.jsonl.gz"
+        extension = ".npz" if self.payload == "binary" else ".jsonl.gz"
+        return f"{self._name_prefix}{len(self._shards):05d}{extension}"
 
     def _open_shard(self) -> None:
         temporary = os.path.join(self.path, self._shard_name() + ".tmp")
@@ -135,7 +257,30 @@ class ShardedDatasetWriter:
         self._current_count = 0
 
     def _seal_shard(self) -> None:
-        """Close the open shard and rename it into its final place."""
+        """Write out / close the open shard and rename it into its final place."""
+        if self.payload == "binary":
+            if not self._pending:
+                return
+            name = self._shard_name()
+            temporary = os.path.join(self.path, name + ".tmp")
+            # One npz archive per shard: sample ``i``'s arrays live under
+            # the key prefix ``s{i:05d}.`` and the per-sample JSON strings
+            # stack into one unicode "meta" array (also the sample count).
+            archive = {}
+            metas = []
+            for i, (arrays, meta) in enumerate(self._pending):
+                prefix = f"s{i:05d}."
+                for key, value in arrays.items():
+                    archive[prefix + key] = value
+                metas.append(meta)
+            archive["meta"] = np.array(metas)
+            with open(temporary, "wb") as handle:
+                np.savez(handle, **archive)
+            os.replace(temporary, os.path.join(self.path, name))
+            self._shards.append({"name": name, "num_samples": len(self._pending)})
+            self._pending = []
+            self._current_count = 0
+            return
         if self._handle is None:
             return
         self._handle.close()
@@ -147,14 +292,20 @@ class ShardedDatasetWriter:
         self._current_count = 0
 
     def write(self, sample: Sample) -> None:
-        """Append one sample (one JSONL line; shards roll automatically)."""
+        """Append one sample (shards roll automatically every ``shard_size``)."""
         if self._closed:
             raise RuntimeError("writer is closed")
-        if self._handle is None:
-            self._open_shard()
-        json.dump(sample.to_dict(), self._handle)
-        self._handle.write("\n")
-        self._current_count += 1
+        if self.payload == "binary":
+            # Encoded immediately (errors surface at write time and the
+            # Sample object is not retained), written out at shard roll.
+            self._pending.append(_encode_sample(sample))
+            self._current_count += 1
+        else:
+            if self._handle is None:
+                self._open_shard()
+            json.dump(sample.to_dict(), self._handle)
+            self._handle.write("\n")
+            self._current_count += 1
         if self._current_count >= self.shard_size:
             self._seal_shard()
 
@@ -174,7 +325,8 @@ class ShardedDatasetWriter:
             self._handle.close()
             self._handle = None
         manifest = {
-            "format_version": 2,
+            "format_version": 3 if self.payload == "binary" else 2,
+            "payload": self.payload,
             "metadata": self._metadata,
             "normalizer": (self._normalizer.to_dict()
                            if self._normalizer is not None else None),
@@ -208,6 +360,7 @@ class ShardedDatasetWriter:
                 os.remove(os.path.join(self.path, self._shard_name() + ".tmp"))
             except OSError:
                 pass
+        self._pending = []
         for shard in self._shards:
             try:
                 os.remove(os.path.join(self.path, shard["name"]))
@@ -245,10 +398,12 @@ class ShardedDatasetReader:
         with open(os.path.join(path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         version = manifest.get("format_version")
-        if version != 2:
+        if version not in SUPPORTED_FORMAT_VERSIONS:
+            supported = " and ".join(str(v) for v in SUPPORTED_FORMAT_VERSIONS)
             raise ValueError(
                 f"unsupported sharded-store format_version {version!r} "
-                f"in '{path}' (this reader understands version 2)")
+                f"in '{path}' (this reader understands versions {supported}: "
+                f"2 = gzipped-JSONL shards, 3 = binary npz shards)")
         self._manifest = manifest
         self.metadata: dict = manifest.get("metadata", {})
         self.normalizer: Optional[FeatureNormalizer] = (
@@ -271,18 +426,40 @@ class ShardedDatasetReader:
     def __iter__(self) -> Iterator[Sample]:
         for shard in self._manifest["shards"]:
             shard_path = os.path.join(self.path, shard["name"])
-            count = 0
-            with gzip.open(shard_path, "rt", encoding="utf-8") as handle:
-                for line in handle:
-                    if not line.strip():
-                        continue
-                    yield Sample.from_dict(json.loads(line))
-                    count += 1
+            if shard["name"].endswith(".npz"):
+                count = yield from self._iter_binary_shard(shard_path)
+            else:
+                count = yield from self._iter_jsonl_shard(shard_path)
             if count != shard["num_samples"]:
                 raise ValueError(
                     f"shard '{shard['name']}' of '{self.path}' holds {count} "
                     f"samples but the manifest records {shard['num_samples']} "
                     "(truncated or corrupted shard)")
+
+    @staticmethod
+    def _iter_jsonl_shard(shard_path: str):
+        count = 0
+        with gzip.open(shard_path, "rt", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                yield Sample.from_dict(json.loads(line))
+                count += 1
+        return count
+
+    @staticmethod
+    def _iter_binary_shard(shard_path: str):
+        with np.load(shard_path, allow_pickle=False) as archive:
+            available = set(archive.files)
+            metas = archive["meta"]
+            for i in range(len(metas)):
+                prefix = f"s{i:05d}."
+                yield _decode_sample(
+                    lambda field, prefix=prefix: archive[prefix + field],
+                    {name[len(prefix):] for name in available
+                     if name.startswith(prefix)},
+                    str(metas[i]))
+        return len(metas)
 
     def read_all(self) -> List[Sample]:
         """Materialise the whole store as a list (the non-streaming path)."""

@@ -4,10 +4,11 @@ Two formats share this entry point:
 
 * **format 1** — one gzipped JSON file (``.json.gz``) holding every sample;
   the historical format, still read and written.
-* **format 2** — a sharded store directory (see
-  :mod:`repro.datasets.sharded`): gzipped JSONL shards plus a manifest,
-  written and read incrementally.  ``save_dataset(..., shards=N)`` writes
-  one; :func:`load_dataset` transparently reads either.
+* **formats 2 and 3** — a sharded store directory (see
+  :mod:`repro.datasets.sharded`): gzipped-JSONL (2) or binary npz (3)
+  shards plus a manifest, written and read incrementally.
+  ``save_dataset(..., shards=N)`` writes one (``shard_payload="binary"``
+  selects format 3); :func:`load_dataset` transparently reads any format.
 """
 
 from __future__ import annotations
@@ -32,7 +33,8 @@ __all__ = ["save_dataset", "load_dataset"]
 def save_dataset(samples: Iterable[Sample], path: str,
                  normalizer: Optional[FeatureNormalizer] = None,
                  metadata: Optional[dict] = None,
-                 shards: Optional[int] = None) -> str:
+                 shards: Optional[int] = None,
+                 shard_payload: str = "binary") -> str:
     """Write samples (and optionally their normaliser) to disk.
 
     With ``shards=None`` (default) this writes the format-1 single
@@ -46,7 +48,9 @@ def save_dataset(samples: Iterable[Sample], path: str,
     With ``shards=N`` the samples are spread over a sharded store directory
     at ``path`` (no suffix; see :class:`~repro.datasets.sharded.
     ShardedDatasetWriter`), which :func:`load_dataset` and the streaming
-    training path both read.
+    training path both read; ``shard_payload`` picks the shard encoding
+    (``"binary"`` — the default — is the zero-parse format-3 npz payload,
+    ``"jsonl"`` the human-greppable format 2).
 
     Returns the path written.
     """
@@ -63,7 +67,8 @@ def save_dataset(samples: Iterable[Sample], path: str,
         with ShardedDatasetWriter(path,
                                   shard_size=shard_size_for(count, shards),
                                   normalizer=normalizer,
-                                  metadata=metadata) as writer:
+                                  metadata=metadata,
+                                  payload=shard_payload) as writer:
             for sample in samples:
                 writer.write(sample)
         return writer.path
@@ -136,6 +141,13 @@ def load_dataset(path: str) -> Tuple[List[Sample], Optional[FeatureNormalizer], 
         return reader.read_all(), reader.normalizer, dict(reader.metadata)
     with gzip.open(path, "rt", encoding="utf-8") as handle:
         payload = json.load(handle)
+    version = payload.get("format_version", 1)
+    if version != 1:
+        raise ValueError(
+            f"unsupported dataset format_version {version!r} in '{path}': "
+            f"this build reads format 1 (single .json.gz blob), format 2 "
+            f"(sharded store, gzipped-JSONL shards) and format 3 (sharded "
+            f"store, binary npz shards)")
     samples = [Sample.from_dict(entry) for entry in payload["samples"]]
     normalizer = (FeatureNormalizer.from_dict(payload["normalizer"])
                   if payload.get("normalizer") else None)

@@ -37,14 +37,16 @@ class RouteNetConfig:
         :func:`repro.nn.tensor.set_default_dtype`).  float32 halves the
         memory footprint of the backward pass on large merged batches.
     scan_mode:
-        How the path RNN scans its sequences: ``"stream"`` (default) uses
-        the checkpointed streaming scan that recomputes per-step
-        intermediates in backward and scatters outputs straight into the
-        aggregation accumulators — O(paths·dim) live graph memory per
-        message-passing iteration; ``"stacked"`` keeps the original
-        formulation that materialises the gathered sequence and the stacked
-        per-step outputs in the autograd graph (useful for gradcheck
-        cross-validation against the streaming path).
+        How the path RNN scans its sequences: ``"compiled"`` (default) runs
+        the streaming scan through precompiled per-(topology, bucket) step
+        kernels — the input projection hoisted out of the step loop, each
+        hop a fused raw-NumPy step over presorted index arrays, backward via
+        closed-form VJPs instead of a per-step tape; ``"stream"`` is the
+        interpreted checkpointed streaming scan (same O(paths·dim) live
+        memory, per-step autograd subgraphs); ``"stacked"`` keeps the
+        original formulation that materialises the gathered sequence and the
+        stacked per-step outputs in the autograd graph (useful for gradcheck
+        cross-validation against the streaming paths).
     seed:
         Seed for weight initialisation.
     """
@@ -57,7 +59,7 @@ class RouteNetConfig:
     readout_activation: str = "relu"
     output_positive: bool = False
     dtype: Optional[str] = None
-    scan_mode: str = "stream"
+    scan_mode: str = "compiled"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -67,6 +69,6 @@ class RouteNetConfig:
             raise ValueError("message_passing_iterations must be at least 1")
         if any(h < 1 for h in self.readout_hidden_sizes):
             raise ValueError("readout hidden sizes must be positive")
-        if self.scan_mode not in ("stream", "stacked"):
-            raise ValueError("scan_mode must be 'stream' or 'stacked'")
+        if self.scan_mode not in ("compiled", "stream", "stacked"):
+            raise ValueError("scan_mode must be 'compiled', 'stream' or 'stacked'")
         resolve_dtype(self.dtype)  # raises on anything but float32/float64/None

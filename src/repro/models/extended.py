@@ -105,17 +105,19 @@ class ExtendedRouteNet(Module):
         link_states: Tensor,
         node_states: Tensor,
     ) -> Tuple[Tensor, Tensor, Tensor]:
-        if self.config.scan_mode == "stream":
+        if self.config.scan_mode in ("stream", "compiled"):
             # Streaming checkpointed scan over the interleaved node/link
             # sequence: even steps gather node states, odd steps link states,
             # and only the odd (link) steps scatter their outputs into the
             # per-link accumulators — the interleaved sequence and the
-            # stacked outputs never materialise.
+            # stacked outputs never materialise.  "compiled" runs it through
+            # the plan's precompiled step-kernel spec.
             plan = build_scan_plan(sample, index, interleaved=True)
+            compiled = plan.compiled() if self.config.scan_mode == "compiled" else None
             link_messages, new_path_states = scan_rnn(
                 self.path_update, (node_states, link_states), plan.step_sources,
                 plan.step_rows, plan.mask, initial_state=path_states,
-                scatter=plan.scatter)
+                scatter=plan.scatter, compiled=compiled)
         else:
             # Stacked formulation over the gathered interleaved sequence.
             sequence, mask = self._gather_interleaved_sequence(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.datasets.tensorize import TensorizedSample
 from repro.nn.recurrent import ScanScatter
+from repro.nn.scan_kernels import ScanKernelSpec, compile_scan_spec
 from repro.nn.tensor import DTypeLike, Tensor, gather_segment_sum, resolve_dtype
 
 __all__ = ["MessagePassingIndex", "build_index", "initial_state", "aggregate_positional_messages",
@@ -140,6 +141,21 @@ class ScanPlan:
     step_rows: np.ndarray
     mask: np.ndarray
     scatter: ScanScatter
+    #: Memoised compiled kernel spec (filled lazily by :meth:`compiled`).
+    _compiled: ScanKernelSpec = dataclasses.field(
+        default=None, repr=False, compare=False)
+
+    def compiled(self) -> ScanKernelSpec:
+        """The precompiled kernel spec of this plan (built once, memoised).
+
+        The spec depends only on the plan's index arrays, which are immutable
+        after construction, so every message-passing iteration and epoch over
+        the same (topology, bucket) batch shares one spec.
+        """
+        if self._compiled is None:
+            self._compiled = compile_scan_spec(
+                self.step_sources, self.step_rows, self.mask, self.scatter)
+        return self._compiled
 
 
 def _per_position_link_scatter(index: MessagePassingIndex, num_steps: int,

@@ -80,16 +80,19 @@ class RouteNet(Module):
     # ------------------------------------------------------------------ #
     def _message_passing_step(self, sample: TensorizedSample, index: MessagePassingIndex,
                               path_states: Tensor, link_states: Tensor):
-        if self.config.scan_mode == "stream":
+        if self.config.scan_mode in ("stream", "compiled"):
             # Streaming checkpointed scan: gathers each hop's link state on
             # the fly and scatters every step's output straight into the
             # per-link accumulators — neither the gathered sequence nor the
-            # stacked outputs ever exist.
+            # stacked outputs ever exist.  In "compiled" mode the scan runs
+            # through the plan's precompiled step-kernel spec instead of the
+            # interpreted per-step tape.
             plan = build_scan_plan(sample, index)
+            compiled = plan.compiled() if self.config.scan_mode == "compiled" else None
             link_messages, new_path_states = scan_rnn(
                 self.path_update, (link_states,), plan.step_sources,
                 plan.step_rows, plan.mask, initial_state=path_states,
-                scatter=plan.scatter)
+                scatter=plan.scatter, compiled=compiled)
         else:
             # Stacked formulation: scan RNN_P over the gathered per-path
             # sequence of link states, then segment-sum the stacked outputs.

@@ -224,6 +224,7 @@ def scan_rnn(
     mask: np.ndarray,
     initial_state: Optional[Tensor] = None,
     scatter: Optional[ScanScatter] = None,
+    compiled=None,
 ) -> Tuple[Optional[Tensor], Tensor]:
     """Streaming, checkpointed masked scan of ``cell`` fused with aggregation.
 
@@ -267,6 +268,14 @@ def scan_rnn(
     scatter:
         Optional :class:`ScanScatter` routing each step's output rows into
         ``num_segments`` accumulators.
+    compiled:
+        Optional :class:`~repro.nn.scan_kernels.ScanKernelSpec` precompiled
+        from the same ``(step_sources, step_rows, mask, scatter)`` via
+        :func:`~repro.nn.scan_kernels.compile_scan_spec`.  When given and
+        the cell has a compiled step kernel (GRU/LSTM), the scan runs
+        through the raw-NumPy kernel executor instead of the interpreted
+        per-step tape; cells without a kernel fall back to the interpreted
+        scan transparently.
 
     Returns
     -------
@@ -293,6 +302,24 @@ def scan_rnn(
     source_tensors = tuple(as_tensor(s) for s in sources)
     state_tensor = initial_state if initial_state is not None \
         else cell.initial_state(num_paths)
+
+    if compiled is not None:
+        from repro.nn.scan_kernels import compile_step_kernel, run_compiled_scan
+
+        kernel = compile_step_kernel(cell)
+        if kernel is not None:
+            if (compiled.num_paths, compiled.num_steps) != (num_paths, num_steps):
+                raise ValueError(
+                    f"compiled spec is for shape "
+                    f"{(compiled.num_paths, compiled.num_steps)}, scan has "
+                    f"{(num_paths, num_steps)}")
+            if compiled.has_scatter != (scatter is not None):
+                raise ValueError(
+                    "compiled spec and scatter argument disagree about output "
+                    "aggregation")
+            return run_compiled_scan(kernel, source_tensors, state_tensor,
+                                     compiled, scatter)
+
     state = state_tensor.data
     state_size = state.shape[1]
     valid = mask > 0

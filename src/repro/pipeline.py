@@ -75,7 +75,7 @@ def run_fig2_experiment(
     learning_rate: float = 0.003,
     batch_size: int = 1,
     dtype: Optional[str] = None,
-    scan_mode: str = "stream",
+    scan_mode: str = "compiled",
     bucket_by_length: bool = True,
     num_workers: int = 1,
     overlap: bool = False,
@@ -89,9 +89,11 @@ def run_fig2_experiment(
     run on a CPU in minutes; the comparison structure is identical.
     ``dtype`` selects the training precision ("float32" roughly halves the
     training memory footprint; ``None`` keeps the process default).
-    ``scan_mode`` picks the path-RNN formulation ("stream" — the
-    checkpointed scan that keeps peak memory flat on large merged graphs —
-    or "stacked" for the original materialised scan) and
+    ``scan_mode`` picks the path-RNN formulation ("compiled" — the
+    checkpointed streaming scan through precompiled step kernels, fastest
+    and flat peak memory on large merged graphs — "stream" for the
+    interpreted streaming scan, or "stacked" for the original materialised
+    scan) and
     ``bucket_by_length`` groups similar-length scenarios per merged batch
     when ``batch_size > 1``.  ``num_workers > 1`` trains data-parallel: each
     optimisation step path-weight-averages the gradients of up to that many

@@ -1,5 +1,6 @@
-"""Tests for the sharded dataset store (format 2) and the storage-layer
-satellites: streamed atomic format-1 saves and suffix-tolerant loading."""
+"""Tests for the sharded dataset store (formats 2 and 3) and the
+storage-layer satellites: streamed atomic format-1 saves, format-version
+validation and suffix-tolerant loading."""
 
 import gzip
 import json
@@ -162,6 +163,128 @@ class TestShardedWriterReader:
         assert shard_size_for(7, 3) == 3
         assert shard_size_for(0, 4) == 1
 
+    def test_unknown_format_version_rejected(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4) as writer:
+            for sample in samples:
+                writer.write(sample)
+        manifest_path = os.path.join(store, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = 9
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError) as excinfo:
+            ShardedDatasetReader(store)
+        # The error must name every supported version and the store path.
+        message = str(excinfo.value)
+        assert "9" in message and "2" in message and "3" in message
+        assert store in message
+
+
+class TestBinaryPayload:
+    """Format 3: zero-parse binary npz shard payloads."""
+
+    def test_round_trip_is_bit_exact_with_shard_rolling(self, tmp_path, samples,
+                                                        normalizer):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=3, normalizer=normalizer,
+                                  metadata={"purpose": "test"},
+                                  payload="binary") as writer:
+            for sample in samples:
+                writer.write(sample)
+            assert writer.num_samples == len(samples)
+        reader = ShardedDatasetReader(store)
+        assert len(reader) == 7
+        assert reader.num_shards == 3  # 3 + 3 + 1
+        assert reader.metadata == {"purpose": "test"}
+        assert reader.normalizer.means == normalizer.means
+        loaded = reader.read_all()
+        assert len(loaded) == 7
+        for original, rebuilt in zip(samples, loaded):
+            # float64 arrays hit disk verbatim: exact equality, not allclose.
+            np.testing.assert_array_equal(rebuilt.delays, original.delays)
+            if original.jitters is not None:
+                np.testing.assert_array_equal(rebuilt.jitters, original.jitters)
+            if original.losses is not None:
+                np.testing.assert_array_equal(rebuilt.losses, original.losses)
+            np.testing.assert_array_equal(rebuilt.traffic.matrix,
+                                          original.traffic.matrix)
+            assert rebuilt.pair_order == original.pair_order
+            assert rebuilt.routing.node_paths() == original.routing.node_paths()
+            assert rebuilt.queue_sizes() == original.queue_sizes()
+            assert rebuilt.topology.name == original.topology.name
+            assert rebuilt.metadata == original.metadata
+            for link_a, link_b in zip(original.topology.links(),
+                                      rebuilt.topology.links()):
+                assert link_a == link_b
+
+    def test_shard_files_and_manifest_layout(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4,
+                                  payload="binary") as writer:
+            for sample in samples:
+                writer.write(sample)
+        names = sorted(os.listdir(store))
+        assert names == [MANIFEST_NAME, "shard-00000.npz", "shard-00001.npz"]
+        with open(os.path.join(store, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == 3
+        assert manifest["payload"] == "binary"
+        assert manifest["total_samples"] == 7
+        # Shards really are npz archives: per-sample key prefixes + meta.
+        with np.load(os.path.join(store, "shard-00000.npz"),
+                     allow_pickle=False) as archive:
+            keys = set(archive.files)
+            assert "meta" in keys
+            assert archive["meta"].shape == (4,)
+            assert {k.split(".", 1)[0] for k in keys if k != "meta"} \
+                == {"s00000", "s00001", "s00002", "s00003"}
+
+    def test_iteration_and_reread(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=2,
+                                  payload="binary") as writer:
+            for sample in samples:
+                writer.write(sample)
+        reader = ShardedDatasetReader(store)
+        first_pass = [s.delays for s in reader]
+        second_pass = [s.delays for s in reader]
+        assert len(first_pass) == len(second_pass) == 7
+        for a, b in zip(first_pass, second_pass):
+            np.testing.assert_array_equal(a, b)
+
+    def test_truncated_binary_shard_detected(self, tmp_path, samples):
+        store = str(tmp_path / "store")
+        with ShardedDatasetWriter(store, shard_size=4,
+                                  payload="binary") as writer:
+            for sample in samples:
+                writer.write(sample)
+        manifest_path = os.path.join(store, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["shards"][0]["num_samples"] += 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            list(ShardedDatasetReader(store))
+
+    def test_payload_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="payload"):
+            ShardedDatasetWriter(str(tmp_path / "s"), payload="parquet")
+
+    def test_save_dataset_binary_round_trips(self, tmp_path, samples,
+                                             normalizer):
+        store = save_dataset(samples, str(tmp_path / "store"),
+                             normalizer=normalizer, metadata={"k": 1},
+                             shards=2, shard_payload="binary")
+        assert is_sharded_store(store)
+        loaded, loaded_normalizer, metadata = load_dataset(store)
+        assert len(loaded) == len(samples)
+        assert metadata == {"k": 1}
+        assert loaded_normalizer.means == normalizer.means
+        np.testing.assert_array_equal(loaded[3].delays, samples[3].delays)
+
 
 class TestStorageIntegration:
     def test_save_dataset_shards_option_round_trips(self, tmp_path, samples,
@@ -175,6 +298,16 @@ class TestStorageIntegration:
         assert metadata == {"k": 1}
         assert loaded_normalizer.means == normalizer.means
         np.testing.assert_allclose(loaded[3].delays, samples[3].delays)
+
+    def test_format1_unknown_version_rejected(self, tmp_path):
+        path = str(tmp_path / "future.json.gz")
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump({"format_version": 7, "samples": []}, handle)
+        with pytest.raises(ValueError) as excinfo:
+            load_dataset(path)
+        message = str(excinfo.value)
+        assert "7" in message and "format 1" in message
+        assert "format 2" in message and "format 3" in message
 
     def test_format1_save_accepts_a_generator(self, tmp_path, samples):
         path = save_dataset((s for s in samples), str(tmp_path / "gen"))

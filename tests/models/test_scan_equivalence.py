@@ -1,11 +1,12 @@
-"""Streaming vs stacked scan: model-level equivalence properties.
+"""Streaming/compiled vs stacked scan: model-level equivalence properties.
 
 The ``scan_mode`` switch must be semantically invisible: for both RouteNet
-architectures, the streaming checkpointed scan has to reproduce the stacked
-formulation's predictions and every parameter gradient within rounding, in
-whichever precision the suite runs at — that is what licenses keeping only
-the streaming path on the training hot loop while the stacked path remains
-a gradcheck cross-validation reference.
+architectures, the streaming checkpointed scan *and* the compiled
+bucket-vectorised kernel path have to reproduce the stacked formulation's
+predictions and every parameter gradient within rounding, in whichever
+precision the suite runs at — that is what licenses keeping the compiled
+path on the training hot loop while the stacked path remains a gradcheck
+cross-validation reference.
 """
 
 from __future__ import annotations
@@ -50,28 +51,29 @@ def scenario_mix():
     return _tensorized_mix()
 
 
-def _model_pair(model_cls):
-    stream = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode="stream"))
+def _model_pair(model_cls, scan_mode):
+    candidate = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode=scan_mode))
     stacked = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode="stacked"))
-    return stream, stacked
+    return candidate, stacked
 
 
+@pytest.mark.parametrize("scan_mode", ["stream", "compiled"])
 @pytest.mark.parametrize("model_cls", [RouteNet, ExtendedRouteNet])
 class TestScanModeEquivalence:
-    def test_forward_matches(self, model_cls, scenario_mix):
-        stream, stacked = _model_pair(model_cls)
+    def test_forward_matches(self, model_cls, scan_mode, scenario_mix):
+        candidate, stacked = _model_pair(model_cls, scan_mode)
         with no_grad():
             for sample in scenario_mix:
                 np.testing.assert_allclose(
-                    stream(sample).data, stacked(sample).data,
+                    candidate(sample).data, stacked(sample).data,
                     atol=float_tolerance(), rtol=float_tolerance(1e-9, 1e-4))
 
-    def test_gradients_match(self, model_cls, scenario_mix):
+    def test_gradients_match(self, model_cls, scan_mode, scenario_mix):
         """Every parameter gradient of a training loss agrees across modes."""
-        stream, stacked = _model_pair(model_cls)
+        candidate, stacked = _model_pair(model_cls, scan_mode)
         for sample in scenario_mix:
             grads = {}
-            for label, model in (("stream", stream), ("stacked", stacked)):
+            for label, model in ((scan_mode, candidate), ("stacked", stacked)):
                 model.zero_grad()
                 loss = mse_loss(model(sample), Tensor(sample.targets))
                 loss.backward()
@@ -80,17 +82,33 @@ class TestScanModeEquivalence:
             for name, reference in grads["stacked"].items():
                 scale = max(1.0, float(np.abs(reference).max()))
                 np.testing.assert_allclose(
-                    grads["stream"][name] / scale, reference / scale,
+                    grads[scan_mode][name] / scale, reference / scale,
                     atol=float_tolerance(1e-8, 5e-3),
                     err_msg=f"{model_cls.__name__}.{name}")
 
-    def test_predict_matches(self, model_cls, scenario_mix):
-        """Inference (the streaming no-checkpoint path) agrees too."""
-        stream, stacked = _model_pair(model_cls)
+    def test_predict_matches(self, model_cls, scan_mode, scenario_mix):
+        """Inference (the no-checkpoint streaming paths) agrees too."""
+        candidate, stacked = _model_pair(model_cls, scan_mode)
         for sample in scenario_mix:
             np.testing.assert_allclose(
-                stream.predict(sample), stacked.predict(sample),
+                candidate.predict(sample), stacked.predict(sample),
                 atol=float_tolerance(), rtol=float_tolerance(1e-9, 1e-4))
+
+
+def test_compiled_matches_stream_directly(scenario_mix):
+    """The compiled kernels replay the streaming scan's arithmetic with the
+    same op order and the same stable-sigmoid formulation, so the two modes
+    agree far tighter than either does with the stacked reference (only
+    BLAS-shape rounding separates them)."""
+    for model_cls in (RouteNet, ExtendedRouteNet):
+        compiled, _ = _model_pair(model_cls, "compiled")
+        stream = model_cls(dataclasses.replace(BASE_CONFIG, scan_mode="stream"))
+        with no_grad():
+            for sample in scenario_mix:
+                np.testing.assert_allclose(
+                    compiled(sample).data, stream(sample).data,
+                    atol=float_tolerance(1e-12, 1e-5),
+                    rtol=float_tolerance(1e-10, 1e-4))
 
 
 def test_scan_mode_validated():
@@ -98,5 +116,5 @@ def test_scan_mode_validated():
         RouteNetConfig(scan_mode="lazy")
 
 
-def test_default_scan_mode_is_streaming():
-    assert RouteNetConfig().scan_mode == "stream"
+def test_default_scan_mode_is_compiled():
+    assert RouteNetConfig().scan_mode == "compiled"

@@ -60,7 +60,7 @@ def _make_trainer(normalizer, scan_mode="stream", **config):
 # ---------------------------------------------------------------------- #
 # Streamed == in-memory, bit for bit
 # ---------------------------------------------------------------------- #
-@pytest.mark.parametrize("scan_mode", ["stream", "stacked"])
+@pytest.mark.parametrize("scan_mode", ["compiled", "stream", "stacked"])
 @pytest.mark.parametrize("backend", ["serial", "process"])
 def test_streamed_epoch_bit_identical_across_backends(samples, normalizer, store,
                                                       scan_mode, backend):
@@ -284,6 +284,42 @@ def test_prefetcher_propagates_errors(samples):
     prefetcher = BatchPrefetcher(iter(samples), unfitted, batch_size=2)
     with pytest.raises(RuntimeError, match="fitted"):
         list(prefetcher)
+
+
+def test_prefetcher_reraises_promptly_past_queued_batches(samples, normalizer):
+    """A dead producer surfaces its error at the *next* step, even with
+    intact batches still queued ahead of the failure — a failed epoch must
+    not hand out the rest of its queue first."""
+    def poisoned():
+        yield samples[0]
+        yield samples[1]
+        raise RuntimeError("poisoned source")
+
+    prefetcher = BatchPrefetcher(poisoned(), normalizer, batch_size=1,
+                                 window_batches=1, prefetch_depth=4)
+    # Deterministic setup: let the producer queue both good batches, hit the
+    # error and exit before the consumer touches the queue.
+    prefetcher._thread.join(timeout=10.0)
+    assert not prefetcher._thread.is_alive()
+    assert prefetcher._queue.qsize() > 1  # good batches ahead of the error
+    with pytest.raises(RuntimeError, match="poisoned"):
+        next(iter(prefetcher))
+    assert prefetcher._queue.qsize() == 0  # drained on the way out
+    with pytest.raises(StopIteration):
+        next(iter(prefetcher))
+
+
+def test_prefetcher_context_manager_joins_on_consumer_error(samples, normalizer):
+    """A consumer raising mid-epoch inside ``with`` still stops and joins
+    the producer thread on the way out."""
+    with pytest.raises(RuntimeError, match="consumer failed"):
+        with BatchPrefetcher(iter(samples), normalizer, batch_size=1,
+                             prefetch_depth=1) as prefetcher:
+            next(iter(prefetcher))
+            raise RuntimeError("consumer failed")
+    assert not prefetcher._thread.is_alive()
+    with pytest.raises(StopIteration):
+        next(iter(prefetcher))
 
 
 def test_prefetcher_close_is_safe_midway(samples, normalizer):
