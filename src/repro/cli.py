@@ -3,6 +3,9 @@
 Installed as the ``repro-net`` console script::
 
     repro-net generate --topology geant2 --samples 50 --output data/geant2
+    repro-net generate --topology geant2 --samples 5000 --workers 4 \\
+                       --unit-size 64 --output data/geant2-store   # factory
+    repro-net status   --dataset data/geant2-store
     repro-net train    --dataset data/geant2 --model extended --output models/ext
     repro-net evaluate --dataset data/geant2 --model extended --weights models/ext
     repro-net fig2     --train-samples 40 --eval-samples 15 --epochs 10
@@ -17,6 +20,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.datasets.factory import (
+    DatasetJobSpec,
+    format_job_status,
+    job_status,
+    run_job,
+)
 from repro.datasets.generator import DatasetConfig, generate_dataset
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.sharded import (
@@ -82,7 +91,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "shards readable by older checkouts")
     generate.add_argument("--output", required=True,
                           help="output dataset path (.json.gz, or a store "
-                               "directory with --dataset-shards)")
+                               "directory with --dataset-shards or in "
+                               "factory mode)")
+    generate.add_argument("--workers", type=int, default=1,
+                          help="dataset factory: generate with this many "
+                               "worker processes, each executing whole work "
+                               "units and committing them atomically as "
+                               "shards of a catalogued store (any of "
+                               "--workers/--resume/--unit-size/--limit-units "
+                               "switches generation to the factory; output "
+                               "content is identical for every worker count)")
+    generate.add_argument("--resume", action="store_true",
+                          help="dataset factory: top up an existing factory "
+                               "store — only units that are missing, failed, "
+                               "or whose shard file disappeared are executed")
+    generate.add_argument("--unit-size", type=int, default=None,
+                          help="dataset factory: samples per work unit (the "
+                               "granularity of scheduling, atomic commit and "
+                               "resume; default 32)")
+    generate.add_argument("--limit-units", type=int, default=None,
+                          help="dataset factory: execute at most this many "
+                               "units this invocation, leaving the rest "
+                               "pending for a later --resume run (budgeted "
+                               "top-up)")
+
+    status = subparsers.add_parser(
+        "status", help="report a factory store's per-unit progress")
+    status.add_argument("--dataset", required=True,
+                        help="factory store directory (written by "
+                             "'generate --workers/--resume')")
 
     train = subparsers.add_parser("train", help="train a model on a dataset")
     train.add_argument("--dataset", required=True)
@@ -186,6 +223,11 @@ def _resolve_topology(args: argparse.Namespace):
 
 
 def _command_generate(args: argparse.Namespace) -> int:
+    factory_mode = (args.workers > 1 or args.resume
+                    or args.unit_size is not None
+                    or args.limit_units is not None)
+    if factory_mode:
+        return _generate_via_factory(args)
     topology = _resolve_topology(args)
     config = DatasetConfig(num_samples=args.samples,
                            small_queue_fraction=args.small_queue_fraction,
@@ -212,6 +254,41 @@ def _command_generate(args: argparse.Namespace) -> int:
     path = save_dataset(samples, args.output, normalizer=normalizer,
                         metadata=metadata)
     print(f"wrote {len(samples)} samples to {path}")
+    return 0
+
+
+def _generate_via_factory(args: argparse.Namespace) -> int:
+    """Factory-mode generation: job spec → resumable worker farm → catalog.
+
+    The spec is derived entirely from the CLI arguments, so re-running the
+    same command line with ``--resume`` always addresses the same catalog
+    (each unit's samples come from ``default_rng([seed, unit_index])`` —
+    the documented factory seed semantics, not the legacy serial stream).
+    """
+    topology_name = (f"random:{args.random_nodes}" if args.topology == "random"
+                     else args.topology)
+    spec = DatasetJobSpec(
+        topologies=(topology_name,),
+        samples_per_scenario=args.samples,
+        unit_size=args.unit_size if args.unit_size is not None else 32,
+        seed=args.seed,
+        base_config={"small_queue_fraction": args.small_queue_fraction,
+                     "backend": args.backend},
+        payload=args.shard_payload,
+    )
+
+    def progress(unit_index: int, completed: int, scheduled: int) -> None:
+        print(f"unit {unit_index:06d} committed ({completed}/{scheduled} this run)")
+
+    status = run_job(spec, args.output, workers=args.workers,
+                     resume=args.resume, limit=args.limit_units,
+                     progress=progress)
+    print(format_job_status(status))
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    print(format_job_status(job_status(args.dataset)))
     return 0
 
 
@@ -319,6 +396,7 @@ def _command_fig2(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _command_generate,
+    "status": _command_status,
     "train": _command_train,
     "evaluate": _command_evaluate,
     "fig2": _command_fig2,

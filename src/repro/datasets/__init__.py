@@ -34,6 +34,15 @@ from repro.datasets.sharded import (
     attach_normalizer,
     is_sharded_store,
 )
+from repro.datasets.factory import (
+    DatasetJobSpec,
+    WorkUnit,
+    expand_units,
+    execute_unit,
+    job_status,
+    merge_catalogs,
+    run_job,
+)
 from repro.datasets.prefetch import BatchPrefetcher, iter_window_batches
 
 __all__ = [
@@ -58,4 +67,11 @@ __all__ = [
     "is_sharded_store",
     "BatchPrefetcher",
     "iter_window_batches",
+    "DatasetJobSpec",
+    "WorkUnit",
+    "expand_units",
+    "execute_unit",
+    "run_job",
+    "job_status",
+    "merge_catalogs",
 ]

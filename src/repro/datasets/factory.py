@@ -1,0 +1,781 @@
+"""Dataset factory: job-spec-driven, resumable, multi-process generation.
+
+The monolithic ``DatasetGenerator.iter_samples`` loop generates one sample
+at a time from one config — fine for benchmarks, hopeless for the
+million-scenario sweeps the ROADMAP calls for now that the trainer is an
+order of magnitude faster than the simulator feeding it.  This module
+refactors generation into four layers:
+
+**Job spec** — :class:`DatasetJobSpec` declares a sweep: topologies ×
+:class:`~repro.datasets.generator.DatasetConfig` axes × a sample budget
+per scenario.  :func:`expand_units` expands it *deterministically* into
+shard-sized :class:`WorkUnit`\\ s.  Each unit draws from its own derived
+RNG stream ``np.random.default_rng([job_seed, unit_index])``, so a unit's
+output depends only on the spec and its index — never on which worker ran
+it, in what order, or how many workers there were.  (This is the one
+seed-semantics difference from the legacy serial loop, which threads a
+single RNG through every sample.)
+
+**Execution** — :func:`run_job` executes the pending units, either
+in-process or on a farm of worker processes (the fork/spawn + pipe
+protocol of :mod:`repro.nn.parallel`).  Every worker runs whole units end
+to end and commits each as **one shard file** via
+:func:`repro.datasets.sharded.write_shard` (temp + ``os.replace``), so a
+killed run leaves only whole units on disk.
+
+**Catalog** — the store's ``manifest.json`` is extended with a
+``catalog`` block recording per-unit provenance: the generator config,
+backend, scenario axes, seed path, simulator version, status and
+measured generation cost.  The manifest is atomically rewritten after
+every completed unit (the commit point), which is what makes runs
+resumable: re-running the same spec with ``resume=True`` executes **only
+missing or failed units** (incremental top-up), and
+:func:`merge_catalogs` combines several runs into one trainable store.
+The ``shards`` index lists completed units in unit order, so any
+:class:`~repro.datasets.sharded.ShardedDatasetReader` — and therefore the
+whole training stack — reads a factory store unchanged, with a
+deterministic sample order regardless of worker count.
+
+**CLI** — ``repro-net generate --workers N --resume`` drives
+:func:`run_job` and ``repro-net status`` prints :func:`job_status`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import multiprocessing as mp
+import os
+import pickle
+import shutil
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.generator import DatasetConfig, DatasetGenerator
+from repro.datasets.normalization import FeatureNormalizer
+from repro.datasets.sharded import (
+    MANIFEST_NAME,
+    ShardedDatasetReader,
+    _write_manifest,
+    is_sharded_store,
+    shard_extension,
+    write_shard,
+)
+from repro.topology.geant2 import geant2_topology
+from repro.topology.generators import (
+    grid_topology,
+    linear_topology,
+    random_topology,
+    ring_topology,
+    scale_free_topology,
+    star_topology,
+)
+from repro.topology.graph import Topology
+from repro.topology.nsfnet import nsfnet_topology
+from repro.version import __version__
+
+__all__ = [
+    "DatasetJobSpec",
+    "WorkUnit",
+    "expand_units",
+    "execute_unit",
+    "run_job",
+    "job_status",
+    "format_job_status",
+    "merge_catalogs",
+    "resolve_topology",
+]
+
+#: Seed-path suffix reserved for deriving per-job random topologies.
+#: Units seed from the two-element path ``[job_seed, unit_index]``
+#: (SeedSequence entropy must be non-negative); the topology stream uses a
+#: three-element path, which can never collide with any unit's.
+_TOPOLOGY_SEED_SUFFIX = (0, 1)
+
+_NAMED_TOPOLOGIES = {
+    "geant2": geant2_topology,
+    "nsfnet": nsfnet_topology,
+}
+
+#: Parametric families: ``"<family>:<size>"`` resolves via these builders.
+_PARAMETRIC_TOPOLOGIES = {
+    "ring": ring_topology,
+    "linear": linear_topology,
+    "star": star_topology,
+    "scale_free": scale_free_topology,
+}
+
+
+def resolve_topology(name: str, job_seed: int = 0) -> Topology:
+    """Build the topology a job-spec name refers to.
+
+    ``"geant2"`` / ``"nsfnet"`` are the paper topologies; ``"ring:8"``,
+    ``"linear:6"``, ``"star:5"`` and ``"scale_free:20"`` build parametric
+    families; ``"random:12"`` draws a connected random topology from the
+    job's dedicated RNG sub-stream, so it is identical for every unit of
+    the job (and across worker counts) but varies with the job seed.
+    """
+    if name in _NAMED_TOPOLOGIES:
+        return _NAMED_TOPOLOGIES[name]()
+    family, _, parameter = name.partition(":")
+    if parameter:
+        try:
+            size = int(parameter)
+        except ValueError:
+            raise ValueError(
+                f"topology '{name}': size '{parameter}' is not an integer") from None
+        if family == "random":
+            return random_topology(
+                size, rng=np.random.default_rng([job_seed, *_TOPOLOGY_SEED_SUFFIX]))
+        if family in _PARAMETRIC_TOPOLOGIES:
+            return _PARAMETRIC_TOPOLOGIES[family](size)
+    known = sorted(_NAMED_TOPOLOGIES) + sorted(
+        f"{f}:<n>" for f in list(_PARAMETRIC_TOPOLOGIES) + ["random"])
+    raise ValueError(f"unknown topology '{name}' (known: {', '.join(known)})")
+
+
+#: DatasetConfig fields a spec may sweep or pin; num_samples and seed are
+#: owned by the expansion (unit size and derived streams respectively).
+_CONFIG_FIELDS = tuple(
+    f.name for f in dataclasses.fields(DatasetConfig)
+    if f.name not in ("num_samples", "seed"))
+
+
+@dataclasses.dataclass
+class DatasetJobSpec:
+    """A declarative sweep: topologies × DatasetConfig axes × a seed range.
+
+    Attributes
+    ----------
+    topologies:
+        Topology names resolvable by :func:`resolve_topology`.
+    samples_per_scenario:
+        Samples generated for every (topology × axes combination) scenario.
+    unit_size:
+        Samples per work unit — the granularity of scheduling, of atomic
+        commit and of resume.  The last unit of a scenario may be smaller.
+    seed:
+        The job seed.  Unit ``k`` draws from
+        ``np.random.default_rng([seed, k])``, so every unit's stream is
+        independent of execution order and worker count.
+    axes:
+        Swept :class:`DatasetConfig` fields → list of values; the sweep is
+        their cartesian product (in the declared order).
+    base_config:
+        Fixed :class:`DatasetConfig` overrides shared by every scenario
+        (e.g. ``{"backend": "simulation"}``).
+    payload:
+        Shard encoding of the units, ``"binary"`` (format 3) or
+        ``"jsonl"`` (format 2).
+    """
+
+    topologies: Sequence[str] = ("geant2",)
+    samples_per_scenario: int = 100
+    unit_size: int = 32
+    seed: int = 0
+    axes: Dict[str, Sequence] = dataclasses.field(default_factory=dict)
+    base_config: Dict[str, object] = dataclasses.field(default_factory=dict)
+    payload: str = "binary"
+
+    def __post_init__(self) -> None:
+        self.topologies = tuple(self.topologies)
+        if not self.topologies:
+            raise ValueError("topologies must name at least one topology")
+        if self.samples_per_scenario < 1:
+            raise ValueError("samples_per_scenario must be positive")
+        if self.unit_size < 1:
+            raise ValueError("unit_size must be at least 1")
+        if self.payload not in ("binary", "jsonl"):
+            raise ValueError(
+                f"payload must be 'binary' or 'jsonl', got {self.payload!r}")
+        for field_name, values in self.axes.items():
+            if field_name not in _CONFIG_FIELDS:
+                raise ValueError(
+                    f"axis '{field_name}' is not a sweepable DatasetConfig "
+                    f"field (choose from {', '.join(_CONFIG_FIELDS)})")
+            if not list(values):
+                raise ValueError(f"axis '{field_name}' has no values")
+        for field_name in self.base_config:
+            if field_name not in _CONFIG_FIELDS:
+                raise ValueError(
+                    f"base_config field '{field_name}' is not a DatasetConfig "
+                    f"field (choose from {', '.join(_CONFIG_FIELDS)})")
+        overlap = set(self.axes) & set(self.base_config)
+        if overlap:
+            raise ValueError(
+                f"fields {sorted(overlap)} appear in both axes and base_config")
+
+    # ------------------------------------------------------------------ #
+    def scenarios(self) -> List[Tuple[str, Dict[str, object]]]:
+        """Deterministic scenario list: (topology, axes values) pairs."""
+        axis_names = list(self.axes)
+        combos = list(itertools.product(*(self.axes[a] for a in axis_names)))
+        return [(topology, dict(zip(axis_names, combo)))
+                for topology in self.topologies
+                for combo in combos]
+
+    @property
+    def num_units(self) -> int:
+        per_scenario = -(-self.samples_per_scenario // self.unit_size)
+        return per_scenario * len(self.scenarios())
+
+    @property
+    def total_samples(self) -> int:
+        return self.samples_per_scenario * len(self.scenarios())
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "topologies": list(self.topologies),
+            "samples_per_scenario": self.samples_per_scenario,
+            "unit_size": self.unit_size,
+            "seed": self.seed,
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "base_config": dict(self.base_config),
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DatasetJobSpec":
+        return cls(**payload)
+
+    def fingerprint(self) -> str:
+        """Canonical identity of the sweep — what resume matches against."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable slice of a job: ≤ ``unit_size`` samples
+    of one scenario, with its own derived RNG stream."""
+
+    index: int                  #: global unit index (the seed derivation key)
+    topology: str
+    axes: Dict[str, object]
+    config: DatasetConfig       #: full per-unit generator config
+    num_samples: int
+    scenario_index: int
+    sample_offset: int          #: offset of the first sample within the scenario
+
+    @property
+    def shard_name_stem(self) -> str:
+        return f"unit-{self.index:06d}"
+
+
+def expand_units(spec: DatasetJobSpec) -> List[WorkUnit]:
+    """Deterministically expand a job spec into its work units.
+
+    Unit indices enumerate scenarios in spec order and sample blocks within
+    each scenario in offset order; the expansion depends only on the spec,
+    so workers can re-derive it locally from the pickled spec and resume
+    runs address units stably across processes and sessions.
+    """
+    units: List[WorkUnit] = []
+    index = 0
+    for scenario_index, (topology, axes) in enumerate(spec.scenarios()):
+        offset = 0
+        while offset < spec.samples_per_scenario:
+            count = min(spec.unit_size, spec.samples_per_scenario - offset)
+            config = DatasetConfig(num_samples=count, seed=spec.seed,
+                                   **{**spec.base_config, **axes})
+            units.append(WorkUnit(index=index, topology=topology,
+                                  axes=dict(axes), config=config,
+                                  num_samples=count,
+                                  scenario_index=scenario_index,
+                                  sample_offset=offset))
+            offset += count
+            index += 1
+    return units
+
+
+def execute_unit(spec: DatasetJobSpec, unit: WorkUnit, path: str) -> dict:
+    """Generate one unit's samples and atomically commit its shard file.
+
+    Returns the unit's provenance record for the catalog.  The unit's RNG
+    stream ``default_rng([job_seed, unit_index])`` makes the shard's
+    content a pure function of (spec, unit index) — bit-identical whether
+    it runs in the parent, in any worker, or in a later resume.
+    """
+    started = time.perf_counter()
+    rng = np.random.default_rng([spec.seed, unit.index])
+    topology = resolve_topology(unit.topology, spec.seed)
+    generator = DatasetGenerator(topology, unit.config)
+    samples = []
+    events_processed = 0
+    sim_wall_seconds = 0.0
+    for position in range(unit.num_samples):
+        sample = generator.generate_one(rng)
+        sample.metadata.update({
+            "job_seed": spec.seed,
+            "unit_index": unit.index,
+            "unit_position": position,
+            **unit.axes,
+        })
+        events_processed += int(sample.metadata.get("events_processed", 0))
+        sim_wall_seconds += float(sample.metadata.get("sim_wall_seconds", 0.0))
+        samples.append(sample)
+    name = unit.shard_name_stem + shard_extension(spec.payload)
+    record = write_shard(path, name, samples, payload=spec.payload)
+    return {
+        "shard": record["name"],
+        "written_samples": record["num_samples"],
+        "generation_seconds": time.perf_counter() - started,
+        "events_processed": events_processed,
+        "sim_wall_seconds": sim_wall_seconds,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Catalog layer
+# ---------------------------------------------------------------------- #
+
+def _initial_unit_state(unit: WorkUnit) -> dict:
+    return {
+        "index": unit.index,
+        "status": "pending",
+        "topology": unit.topology,
+        "axes": dict(unit.axes),
+        "config": dataclasses.asdict(unit.config),
+        "backend": unit.config.backend,
+        "num_samples": unit.num_samples,
+        "scenario_index": unit.scenario_index,
+        "sample_offset": unit.sample_offset,
+        "seed_path": [unit.config.seed, unit.index],
+        "shard": None,
+    }
+
+
+def _build_manifest(spec: DatasetJobSpec, units_state: List[dict],
+                    normalizer: Optional[FeatureNormalizer] = None,
+                    metadata: Optional[dict] = None) -> dict:
+    """The store manifest: a plain sharded-store index (readable by any
+    :class:`ShardedDatasetReader`, shards in unit order) plus the catalog."""
+    done = [state for state in units_state if state["status"] == "done"]
+    return {
+        "format_version": 3 if spec.payload == "binary" else 2,
+        "payload": spec.payload,
+        "metadata": dict(metadata) if metadata else {},
+        "normalizer": normalizer.to_dict() if normalizer is not None else None,
+        "total_samples": sum(state["written_samples"] for state in done),
+        "shards": [{"name": state["shard"],
+                    "num_samples": state["written_samples"]} for state in done],
+        "catalog": {
+            "job": spec.to_dict(),
+            "fingerprint": spec.fingerprint(),
+            "simulator_version": __version__,
+            "units": units_state,
+        },
+    }
+
+
+def _read_manifest(path: str) -> dict:
+    with open(os.path.join(path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_units_state(spec: DatasetJobSpec, path: str,
+                      resume: bool) -> Tuple[List[dict], Optional[dict]]:
+    """Fresh or restored per-unit state for a run over ``path``.
+
+    A unit counts as done only when the catalog says so *and* its shard
+    file still exists — deleting (or losing) a shard re-queues exactly
+    that unit.  A store holding a different job's catalog, or a plain
+    sharded store without one, is refused rather than silently clobbered.
+    """
+    units = expand_units(spec)
+    fresh = [_initial_unit_state(unit) for unit in units]
+    if not is_sharded_store(path):
+        return fresh, None
+    manifest = _read_manifest(path)
+    catalog = manifest.get("catalog")
+    if catalog is None:
+        raise ValueError(
+            f"'{path}' holds a sharded store without a factory catalog; "
+            "refusing to overwrite it (pick a new output directory)")
+    if catalog.get("fingerprint") != spec.fingerprint():
+        raise ValueError(
+            f"'{path}' was generated from a different job spec; re-run with "
+            "the original spec to top it up, or pick a new output directory")
+    if not resume:
+        raise ValueError(
+            f"'{path}' already holds this job's catalog; pass resume=True "
+            "(CLI --resume) to execute only its missing units")
+    recorded = {state["index"]: state for state in catalog.get("units", [])}
+    restored = []
+    for state in fresh:
+        previous = recorded.get(state["index"])
+        if (previous is not None and previous.get("status") == "done"
+                and previous.get("shard")
+                and os.path.isfile(os.path.join(path, previous["shard"]))):
+            restored.append(previous)
+        else:
+            restored.append(state)
+    return restored, manifest
+
+
+def _mark_done(state: dict, record: dict) -> None:
+    state.update(record)
+    state["status"] = "done"
+    state.pop("error", None)
+
+
+def _mark_failed(state: dict, error: str) -> None:
+    state["status"] = "failed"
+    state["error"] = error
+    state["shard"] = None
+
+
+# ---------------------------------------------------------------------- #
+# Execution layer
+# ---------------------------------------------------------------------- #
+
+def _factory_worker_main(conn, payload: bytes) -> None:
+    """Worker loop: re-derive the unit list from the pickled spec, then
+    execute whole units on request.
+
+    Protocol (parent → worker): ``("unit", index)`` or ``("close",)``;
+    replies ``("done", index, record)`` / ``("failed", index, traceback)``.
+    The worker writes its shard itself — only the small provenance record
+    travels back over the pipe.
+    """
+    try:
+        spec, path = pickle.loads(payload)
+        units = expand_units(spec)
+    except Exception:  # noqa: BLE001 - report instead of dying mute
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ready",))
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "unit":
+                index = message[1]
+                try:
+                    record = execute_unit(spec, units[index], path)
+                    conn.send(("done", index, record))
+                except Exception:  # noqa: BLE001 - ship the traceback
+                    conn.send(("failed", index, traceback.format_exc()))
+            elif message[0] == "close":
+                break
+            else:
+                conn.send(("error", f"unknown message kind {message[0]!r}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _run_units_parallel(spec: DatasetJobSpec, path: str, pending: List[int],
+                        states: Dict[int, dict], workers: int,
+                        commit: Callable[[], None],
+                        progress: Optional[Callable[[int, int, int], None]],
+                        start_method: Optional[str]) -> None:
+    """Farm pending units out to worker processes, dynamically scheduled.
+
+    Units are handed out one at a time as workers free up (units can have
+    very different costs — simulation duration and topology size are sweep
+    axes), and the manifest is committed after every completed unit so an
+    interrupted run keeps everything already finished.
+    """
+    if start_method is None:
+        available = mp.get_all_start_methods()
+        start_method = "fork" if "fork" in available else "spawn"
+    context = mp.get_context(start_method)
+    payload = pickle.dumps((spec, path))
+    count = min(workers, len(pending))
+    connections = []
+    processes = []
+    queue = list(pending)
+    done_count = 0
+    total = len(pending)
+    try:
+        for _ in range(count):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(target=_factory_worker_main,
+                                      args=(child_conn, payload), daemon=True)
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+        in_flight: Dict = {}
+        for conn in connections:
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"factory worker failed to start:\n{reply[1]}")
+            if queue:
+                index = queue.pop(0)
+                conn.send(("unit", index))
+                in_flight[conn] = index
+        while in_flight:
+            for conn in mp.connection.wait(list(in_flight)):
+                index = in_flight.pop(conn)
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as error:
+                    # The unit stays pending (not failed): nothing tells us
+                    # the work itself was at fault, and its partial output
+                    # is at worst a .tmp the next run overwrites.
+                    raise RuntimeError(
+                        f"factory worker died while generating unit {index} "
+                        f"({error!r}); completed units are committed — "
+                        "re-run with resume to continue") from error
+                kind = reply[0]
+                if kind == "done":
+                    _mark_done(states[reply[1]], reply[2])
+                elif kind == "failed":
+                    _mark_failed(states[reply[1]], reply[2])
+                else:
+                    raise RuntimeError(f"unexpected worker reply {kind!r}")
+                done_count += 1
+                commit()
+                if progress is not None:
+                    progress(reply[1], done_count, total)
+                if queue:
+                    next_index = queue.pop(0)
+                    conn.send(("unit", next_index))
+                    in_flight[conn] = next_index
+    finally:
+        for conn in connections:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
+            resume: bool = False, limit: Optional[int] = None,
+            progress: Optional[Callable[[int, int, int], None]] = None,
+            fit_normalizer: bool = True,
+            metadata: Optional[dict] = None,
+            start_method: Optional[str] = None) -> dict:
+    """Execute a job spec's pending units into the store at ``path``.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; 1 executes units in-process (identical output —
+        unit content never depends on the execution engine).
+    resume:
+        Continue a store already holding this job's catalog: only units
+        that are missing, failed, or whose shard file has disappeared are
+        executed.  Without it, an existing catalog is refused.
+    limit:
+        Execute at most this many units this invocation (budgeted top-up);
+        the rest stay pending for a later ``resume`` run.
+    progress:
+        ``progress(unit_index, completed_this_run, scheduled_this_run)``
+        after every unit commits.
+    fit_normalizer:
+        When the job completes, fit a :class:`FeatureNormalizer` by
+        streaming the finished store and record it in the manifest.
+
+    Returns :func:`job_status` of the store.  Raises ``RuntimeError`` when
+    units failed (after committing everything else; resume retries them).
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    os.makedirs(path, exist_ok=True)
+    units_state, previous_manifest = _load_units_state(spec, path, resume)
+    states = {state["index"]: state for state in units_state}
+    previous_metadata = (previous_manifest or {}).get("metadata") or {}
+    manifest_metadata = {**previous_metadata, **(metadata or {})}
+
+    def commit(normalizer: Optional[FeatureNormalizer] = None) -> None:
+        _write_manifest(path, _build_manifest(spec, units_state,
+                                              normalizer=normalizer,
+                                              metadata=manifest_metadata))
+
+    pending = [state["index"] for state in units_state
+               if state["status"] != "done"]
+    if limit is not None:
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        pending = pending[:limit]
+    # Commit the full unit plan up front so `status` sees pending units
+    # (and an interrupted first run is already resumable).
+    commit()
+
+    if workers == 1:
+        units = expand_units(spec)
+        total = len(pending)
+        for done_count, index in enumerate(pending, start=1):
+            try:
+                _mark_done(states[index], execute_unit(spec, units[index], path))
+            except KeyboardInterrupt:
+                raise
+            except Exception:  # noqa: BLE001 - record, continue, raise at end
+                _mark_failed(states[index], traceback.format_exc())
+            commit()
+            if progress is not None:
+                progress(index, done_count, total)
+    else:
+        _run_units_parallel(spec, path, pending, states, workers, commit,
+                            progress, start_method)
+
+    failed = [state["index"] for state in units_state
+              if state["status"] == "failed"]
+    complete = all(state["status"] == "done" for state in units_state)
+    if complete and fit_normalizer:
+        normalizer = FeatureNormalizer().fit(ShardedDatasetReader(path))
+        commit(normalizer=normalizer)
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} unit(s) failed: {failed} — completed units are "
+            f"committed; re-run with resume=True to retry (per-unit errors "
+            f"are recorded in the catalog)")
+    return job_status(path)
+
+
+# ---------------------------------------------------------------------- #
+# Status and merge
+# ---------------------------------------------------------------------- #
+
+def job_status(path: str) -> dict:
+    """Per-unit progress of a factory store: done/pending/failed counts,
+    sample totals and aggregate generation cost."""
+    if not is_sharded_store(path):
+        raise FileNotFoundError(f"no sharded dataset store at '{path}'")
+    manifest = _read_manifest(path)
+    catalog = manifest.get("catalog")
+    if catalog is None:
+        raise ValueError(f"'{path}' is a sharded store without a factory catalog")
+    units = catalog.get("units", [])
+    by_status: Dict[str, List[int]] = {"done": [], "pending": [], "failed": []}
+    for state in units:
+        by_status.setdefault(state.get("status", "pending"), []).append(state["index"])
+    done = [state for state in units if state.get("status") == "done"]
+    return {
+        "path": path,
+        "total_units": len(units),
+        "done_units": len(by_status["done"]),
+        "pending_units": len(by_status["pending"]),
+        "failed_units": by_status["failed"],
+        "complete": len(by_status["done"]) == len(units) and bool(units),
+        "samples_written": sum(state.get("written_samples", 0) for state in done),
+        "total_samples_planned": sum(state.get("num_samples", 0) for state in units),
+        "generation_seconds": sum(state.get("generation_seconds", 0.0)
+                                  for state in done),
+        "events_processed": sum(state.get("events_processed", 0) for state in done),
+        "simulator_version": catalog.get("simulator_version"),
+        "has_normalizer": manifest.get("normalizer") is not None,
+        "job": catalog.get("job", {}),
+    }
+
+
+def format_job_status(status: dict) -> str:
+    """Human-readable ``repro-net status`` report."""
+    lines = [
+        f"factory store       : {status['path']}",
+        f"units done/total    : {status['done_units']}/{status['total_units']}"
+        + (" (complete)" if status["complete"] else ""),
+        f"samples written     : {status['samples_written']}"
+        f"/{status['total_samples_planned']}",
+        f"generation seconds  : {status['generation_seconds']:.2f}",
+        f"normalizer attached : {'yes' if status['has_normalizer'] else 'no'}",
+    ]
+    if status["events_processed"]:
+        rate = status["events_processed"] / max(status["generation_seconds"], 1e-9)
+        lines.insert(4, f"simulator events    : {status['events_processed']} "
+                        f"({rate:.0f} events/sec)")
+    if status["failed_units"]:
+        lines.append(f"FAILED units        : {status['failed_units']} "
+                     "(errors recorded in the catalog; re-run with --resume)")
+    elif status["pending_units"]:
+        lines.append(f"pending units       : {status['pending_units']} "
+                     "(re-run with --resume to top up)")
+    return "\n".join(lines)
+
+
+def merge_catalogs(sources: Sequence[str], output: str,
+                   fit_normalizer: bool = True) -> dict:
+    """Merge several factory stores into one trainable store.
+
+    Every source's *done* units are copied into ``output`` under fresh
+    sequential unit names; their catalog records are preserved verbatim
+    (plus ``source`` / ``source_index`` provenance), so the merged catalog
+    still tells exactly which job, seed path and config produced every
+    shard.  Sources may mix payload encodings — the reader dispatches its
+    decoder per shard file.  Returns the merged store's :func:`job_status`.
+    """
+    if not sources:
+        raise ValueError("at least one source store is required")
+    if is_sharded_store(output):
+        raise ValueError(
+            f"'{output}' already holds a store; merge into a fresh directory")
+    os.makedirs(output, exist_ok=True)
+    merged_units: List[dict] = []
+    shards: List[dict] = []
+    jobs = []
+    payloads = set()
+    versions = set()
+    for source in sources:
+        if not is_sharded_store(source):
+            raise FileNotFoundError(f"no sharded dataset store at '{source}'")
+        manifest = _read_manifest(source)
+        catalog = manifest.get("catalog")
+        if catalog is None:
+            raise ValueError(
+                f"'{source}' is a sharded store without a factory catalog; "
+                "only factory stores carry the provenance a merge preserves")
+        payloads.add(manifest.get("payload"))
+        versions.add(catalog.get("simulator_version"))
+        jobs.append({"source": source, "job": catalog.get("job", {}),
+                     "fingerprint": catalog.get("fingerprint")})
+        for state in catalog.get("units", []):
+            if state.get("status") != "done" or not state.get("shard"):
+                continue
+            extension = state["shard"][state["shard"].index("."):]
+            new_index = len(merged_units)
+            new_name = f"unit-{new_index:06d}{extension}"
+            shutil.copyfile(os.path.join(source, state["shard"]),
+                            os.path.join(output, new_name + ".tmp"))
+            os.replace(os.path.join(output, new_name + ".tmp"),
+                       os.path.join(output, new_name))
+            merged = dict(state)
+            merged.update({"index": new_index, "shard": new_name,
+                           "source": source, "source_index": state["index"]})
+            merged_units.append(merged)
+            shards.append({"name": new_name,
+                           "num_samples": state["written_samples"]})
+    if not merged_units:
+        raise ValueError("no completed units found in the source stores")
+    payload = payloads.pop() if len(payloads) == 1 else "mixed"
+    manifest = {
+        "format_version": 2 if payload == "jsonl" else 3,
+        "payload": payload,
+        "metadata": {"merged_from": [job["source"] for job in jobs]},
+        "normalizer": None,
+        "total_samples": sum(shard["num_samples"] for shard in shards),
+        "shards": shards,
+        "catalog": {
+            "job": {"merged_from": jobs},
+            "fingerprint": None,
+            "simulator_version": (versions.pop() if len(versions) == 1
+                                  else sorted(str(v) for v in versions)),
+            "units": merged_units,
+        },
+    }
+    _write_manifest(output, manifest)
+    if fit_normalizer:
+        manifest["normalizer"] = FeatureNormalizer().fit(
+            ShardedDatasetReader(output)).to_dict()
+        _write_manifest(output, manifest)
+    return job_status(output)

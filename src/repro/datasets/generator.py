@@ -82,6 +82,20 @@ class DatasetConfig:
             raise ValueError("routing_variation must be at least 1")
         if self.backend not in ("analytic", "simulation"):
             raise ValueError(f"unknown backend '{self.backend}'")
+        if self.noise_std < 0:
+            raise ValueError(f"noise_std must be non-negative, got {self.noise_std}")
+        if self.simulation_duration <= 0:
+            raise ValueError(
+                f"simulation_duration must be positive, got {self.simulation_duration}")
+        if self.mean_packet_size_bits <= 0:
+            raise ValueError(
+                f"mean_packet_size_bits must be positive, got {self.mean_packet_size_bits}")
+        if self.default_queue_size < 1:
+            raise ValueError(
+                f"default_queue_size must be at least 1 packet, got {self.default_queue_size}")
+        if self.small_queue_size < 1:
+            raise ValueError(
+                f"small_queue_size must be at least 1 packet, got {self.small_queue_size}")
 
 
 class DatasetGenerator:

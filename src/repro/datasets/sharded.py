@@ -66,6 +66,8 @@ __all__ = [
     "attach_normalizer",
     "is_sharded_store",
     "shard_size_for",
+    "shard_extension",
+    "write_shard",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -158,6 +160,71 @@ def _decode_sample(get, available, meta_json: str) -> Sample:
     )
 
 
+def shard_extension(payload: str) -> str:
+    """File extension of one shard in the given payload encoding."""
+    if payload == "binary":
+        return ".npz"
+    if payload == "jsonl":
+        return ".jsonl.gz"
+    raise ValueError(f"payload must be 'jsonl' or 'binary', got {payload!r}")
+
+
+def _write_binary_shard(directory: str, name: str,
+                        encoded: List[Tuple[dict, str]]) -> None:
+    """Atomically write one format-3 npz shard from encoded samples.
+
+    One npz archive per shard: sample ``i``'s arrays live under the key
+    prefix ``s{i:05d}.`` and the per-sample JSON strings stack into one
+    unicode "meta" array (also the sample count).  Written to a ``.tmp``
+    name and :func:`os.replace`-d into place, so a killed writer never
+    leaves a partially written shard under the final name.
+    """
+    temporary = os.path.join(directory, name + ".tmp")
+    archive = {}
+    metas = []
+    for i, (arrays, meta) in enumerate(encoded):
+        prefix = f"s{i:05d}."
+        for key, value in arrays.items():
+            archive[prefix + key] = value
+        metas.append(meta)
+    archive["meta"] = np.array(metas)
+    with open(temporary, "wb") as handle:
+        np.savez(handle, **archive)
+    os.replace(temporary, os.path.join(directory, name))
+
+
+def write_shard(directory: str, name: str, samples, payload: str = "binary") -> dict:
+    """Write one complete, self-contained shard file atomically.
+
+    The shard-write kernel shared by :class:`ShardedDatasetWriter` (which
+    rolls shards as samples stream in) and the dataset factory (whose
+    worker processes each commit one whole work unit as one shard).  The
+    file appears under ``directory/name`` only when fully written (temp +
+    ``os.replace``), so concurrent writers of *different* names never
+    interfere and a killed writer leaves at worst a ``.tmp`` residue.
+
+    Returns the shard's manifest record ``{"name": ..., "num_samples": ...}``.
+    ``name`` must carry the extension matching ``payload`` (see
+    :func:`shard_extension`) — the reader dispatches its decoder on it.
+    """
+    extension = shard_extension(payload)
+    if not name.endswith(extension):
+        raise ValueError(
+            f"shard name '{name}' does not match payload '{payload}' "
+            f"(expected the '{extension}' extension)")
+    samples = list(samples)
+    if payload == "binary":
+        _write_binary_shard(directory, name, [_encode_sample(s) for s in samples])
+    else:
+        temporary = os.path.join(directory, name + ".tmp")
+        with gzip.open(temporary, "wt", encoding="utf-8") as handle:
+            for sample in samples:
+                json.dump(sample.to_dict(), handle)
+                handle.write("\n")
+        os.replace(temporary, os.path.join(directory, name))
+    return {"name": name, "num_samples": len(samples)}
+
+
 def is_sharded_store(path: str) -> bool:
     """True when ``path`` is a directory holding a sharded-store manifest."""
     return os.path.isdir(path) and os.path.isfile(os.path.join(path, MANIFEST_NAME))
@@ -248,8 +315,8 @@ class ShardedDatasetWriter:
 
     # ------------------------------------------------------------------ #
     def _shard_name(self) -> str:
-        extension = ".npz" if self.payload == "binary" else ".jsonl.gz"
-        return f"{self._name_prefix}{len(self._shards):05d}{extension}"
+        return (f"{self._name_prefix}{len(self._shards):05d}"
+                f"{shard_extension(self.payload)}")
 
     def _open_shard(self) -> None:
         temporary = os.path.join(self.path, self._shard_name() + ".tmp")
@@ -262,21 +329,7 @@ class ShardedDatasetWriter:
             if not self._pending:
                 return
             name = self._shard_name()
-            temporary = os.path.join(self.path, name + ".tmp")
-            # One npz archive per shard: sample ``i``'s arrays live under
-            # the key prefix ``s{i:05d}.`` and the per-sample JSON strings
-            # stack into one unicode "meta" array (also the sample count).
-            archive = {}
-            metas = []
-            for i, (arrays, meta) in enumerate(self._pending):
-                prefix = f"s{i:05d}."
-                for key, value in arrays.items():
-                    archive[prefix + key] = value
-                metas.append(meta)
-            archive["meta"] = np.array(metas)
-            with open(temporary, "wb") as handle:
-                np.savez(handle, **archive)
-            os.replace(temporary, os.path.join(self.path, name))
+            _write_binary_shard(self.path, name, self._pending)
             self._shards.append({"name": name, "num_samples": len(self._pending)})
             self._pending = []
             self._current_count = 0

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -49,7 +50,9 @@ class SimulationGroundTruth:
             source_model=self.source_model,
             seed=seed,
         )
+        started = time.perf_counter()
         result = simulate_network(topology, routing, traffic, config)
+        sim_wall_seconds = time.perf_counter() - started
 
         pair_order = routing.pairs()
         delays = result.delays_vector(pair_order)
@@ -82,6 +85,11 @@ class SimulationGroundTruth:
                 "seed": seed,
                 "source_model": self.source_model,
                 "total_packets": result.total_packets_generated,
+                # Generation cost: what this sample took to simulate.  The
+                # wall time is the one metadata field that varies between
+                # otherwise identical runs of the same seed.
+                "events_processed": result.events_processed,
+                "sim_wall_seconds": sim_wall_seconds,
             },
         )
 

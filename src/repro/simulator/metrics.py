@@ -62,6 +62,9 @@ class SimulationResult:
     total_packets_generated: int
     total_packets_delivered: int
     total_packets_dropped: int
+    #: Discrete events the engine executed to produce this result — the
+    #: simulator's cost unit (events/sec is the tracked generation metric).
+    events_processed: int = 0
 
     def delays_vector(self, pair_order: List[Tuple[int, int]]) -> np.ndarray:
         """Average delays arranged in ``pair_order`` (NaN for absent flows)."""

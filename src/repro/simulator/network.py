@@ -236,6 +236,7 @@ class NetworkSimulation:
             total_packets_generated=total_sent,
             total_packets_delivered=total_delivered,
             total_packets_dropped=total_dropped,
+            events_processed=self.simulator.events_processed,
         )
 
 
