@@ -114,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
                                "units this invocation, leaving the rest "
                                "pending for a later --resume run (budgeted "
                                "top-up)")
+    generate.add_argument("--max-retries", type=int, default=2,
+                          help="dataset factory: re-execute a failing unit up "
+                               "to this many extra times this run before "
+                               "quarantining it (the run then completes and "
+                               "exits 1; 'status' shows the traceback, "
+                               "--resume retries quarantined units)")
+    generate.add_argument("--task-timeout", type=float, default=None,
+                          help="dataset factory: seconds a worker may spend "
+                               "on one unit before it is presumed hung, "
+                               "killed and respawned, and the unit retried "
+                               "(default: wait forever)")
 
     status = subparsers.add_parser(
         "status", help="report a factory store's per-unit progress")
@@ -155,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "broadcast — the parent submits the next group and "
                             "runs its optimiser/validation/checkpoint work "
                             "while the workers compute (bit-identical results)")
+    train.add_argument("--task-timeout", type=float, default=None,
+                       help="with --num-workers > 1: seconds a gradient worker "
+                            "may spend on one task before it is presumed hung "
+                            "and respawned; the task is re-dispatched and "
+                            "recomputes bit-identically (default: wait "
+                            "forever)")
     train.add_argument("--prefetch-depth", type=int, default=None,
                        help="out-of-core training: --dataset must be a sharded "
                             "store ('generate --dataset-shards'); epochs are "
@@ -282,8 +299,14 @@ def _generate_via_factory(args: argparse.Namespace) -> int:
 
     status = run_job(spec, args.output, workers=args.workers,
                      resume=args.resume, limit=args.limit_units,
-                     progress=progress)
+                     progress=progress, max_retries=args.max_retries,
+                     task_timeout=args.task_timeout)
     print(format_job_status(status))
+    if status["quarantined_units"]:
+        print(f"ERROR: {len(status['quarantined_units'])} unit(s) quarantined "
+              "after exhausting retries; inspect with 'repro-net status' and "
+              "re-run with --resume once fixed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -322,6 +345,7 @@ def _command_train(args: argparse.Namespace) -> int:
                       batch_size=args.batch_size, dtype=args.dtype,
                       bucket_by_length=args.bucket_by_length,
                       num_workers=args.num_workers, overlap=args.overlap,
+                      task_timeout=args.task_timeout,
                       prefetch_depth=args.prefetch_depth if streaming else 2,
                       seed=args.seed),
         normalizer=normalizer,

@@ -38,6 +38,21 @@ deterministic sample order regardless of worker count.
 
 **CLI** — ``repro-net generate --workers N --resume`` drives
 :func:`run_job` and ``repro-net status`` prints :func:`job_status`.
+
+**Fault tolerance** — the farm is supervised (see :mod:`repro.supervision`):
+a worker that dies or hangs past its task timeout is reaped and respawned,
+and its unit is re-queued — safe because unit content is a pure function of
+``[job_seed, unit_index]``.  A unit that keeps failing is retried up to
+``max_retries`` extra times (every execution counts into the catalog's
+per-unit ``attempts``) and then **quarantined**: its status and traceback
+land in the catalog, the run completes and reports it instead of aborting.
+Shard integrity is checked on resume — a committed shard whose bytes no
+longer match its catalog SHA-256 is set aside as ``<shard>.corrupt`` and
+its unit re-executed.  Concurrent ``resume`` runs over one store (e.g. a
+shared filesystem farm) coordinate through atomic per-unit **claim files**
+(``.claims/unit-NNNNNN.claim``, ``O_CREAT|O_EXCL``, stale claims taken
+over by mtime age) and adopt each other's committed units at every
+manifest commit, so no unit is ever executed twice concurrently.
 """
 
 from __future__ import annotations
@@ -61,10 +76,18 @@ from repro.datasets.sharded import (
     MANIFEST_NAME,
     ShardedDatasetReader,
     _write_manifest,
+    file_sha256,
     is_sharded_store,
     shard_extension,
     write_shard,
 )
+from repro.supervision import (
+    RestartBudget,
+    SupervisedWorker,
+    SupervisionPolicy,
+    WorkerDied,
+)
+from repro.testing.faults import fault_point, log_execution
 from repro.topology.geant2 import geant2_topology
 from repro.topology.generators import (
     grid_topology,
@@ -301,6 +324,8 @@ def execute_unit(spec: DatasetJobSpec, unit: WorkUnit, path: str) -> dict:
     it runs in the parent, in any worker, or in a later resume.
     """
     started = time.perf_counter()
+    log_execution("unit", unit_index=unit.index, pid=os.getpid())
+    fault_point("factory.unit.start", unit_index=unit.index)
     rng = np.random.default_rng([spec.seed, unit.index])
     topology = resolve_topology(unit.topology, spec.seed)
     generator = DatasetGenerator(topology, unit.config)
@@ -320,9 +345,12 @@ def execute_unit(spec: DatasetJobSpec, unit: WorkUnit, path: str) -> dict:
         samples.append(sample)
     name = unit.shard_name_stem + shard_extension(spec.payload)
     record = write_shard(path, name, samples, payload=spec.payload)
+    fault_point("factory.unit.committed", unit_index=unit.index,
+                path=os.path.join(path, name))
     return {
         "shard": record["name"],
         "written_samples": record["num_samples"],
+        "sha256": record["sha256"],
         "generation_seconds": time.perf_counter() - started,
         "events_processed": events_processed,
         "sim_wall_seconds": sim_wall_seconds,
@@ -346,6 +374,7 @@ def _initial_unit_state(unit: WorkUnit) -> dict:
         "sample_offset": unit.sample_offset,
         "seed_path": [unit.config.seed, unit.index],
         "shard": None,
+        "attempts": 0,  #: cumulative executions across all runs/resumes
     }
 
 
@@ -355,14 +384,21 @@ def _build_manifest(spec: DatasetJobSpec, units_state: List[dict],
     """The store manifest: a plain sharded-store index (readable by any
     :class:`ShardedDatasetReader`, shards in unit order) plus the catalog."""
     done = [state for state in units_state if state["status"] == "done"]
+
+    def shard_record(state: dict) -> dict:
+        record = {"name": state["shard"],
+                  "num_samples": state["written_samples"]}
+        if state.get("sha256"):
+            record["sha256"] = state["sha256"]
+        return record
+
     return {
         "format_version": 3 if spec.payload == "binary" else 2,
         "payload": spec.payload,
         "metadata": dict(metadata) if metadata else {},
         "normalizer": normalizer.to_dict() if normalizer is not None else None,
         "total_samples": sum(state["written_samples"] for state in done),
-        "shards": [{"name": state["shard"],
-                    "num_samples": state["written_samples"]} for state in done],
+        "shards": [shard_record(state) for state in done],
         "catalog": {
             "job": spec.to_dict(),
             "fingerprint": spec.fingerprint(),
@@ -382,9 +418,14 @@ def _load_units_state(spec: DatasetJobSpec, path: str,
     """Fresh or restored per-unit state for a run over ``path``.
 
     A unit counts as done only when the catalog says so *and* its shard
-    file still exists — deleting (or losing) a shard re-queues exactly
-    that unit.  A store holding a different job's catalog, or a plain
-    sharded store without one, is refused rather than silently clobbered.
+    file still exists *and* (when a checksum was recorded) the shard's
+    bytes still hash to it — a shard that disappeared re-queues exactly
+    that unit, and one that rotted on disk is set aside as
+    ``<shard>.corrupt`` and re-queued with the corruption noted.  Units
+    that were not done (pending / quarantined) come back as pending but
+    keep their cumulative ``attempts`` and last error.  A store holding a
+    different job's catalog, or a plain sharded store without one, is
+    refused rather than silently clobbered.
     """
     units = expand_units(spec)
     fresh = [_initial_unit_state(unit) for unit in units]
@@ -408,12 +449,29 @@ def _load_units_state(spec: DatasetJobSpec, path: str,
     restored = []
     for state in fresh:
         previous = recorded.get(state["index"])
-        if (previous is not None and previous.get("status") == "done"
-                and previous.get("shard")
-                and os.path.isfile(os.path.join(path, previous["shard"]))):
-            restored.append(previous)
-        else:
+        if previous is None:
             restored.append(state)
+            continue
+        state["attempts"] = int(previous.get("attempts", 0))
+        if previous.get("status") == "done" and previous.get("shard"):
+            shard_path = os.path.join(path, previous["shard"])
+            if os.path.isfile(shard_path):
+                expected = previous.get("sha256")
+                if expected is None or file_sha256(shard_path) == expected:
+                    restored.append(previous)
+                    continue
+                # Silent corruption: set the bytes aside for post mortem
+                # (no manifest will ever reference the .corrupt name, so
+                # readers never touch it), then re-queue the unit.
+                os.replace(shard_path, shard_path + ".corrupt")
+                state["error"] = (
+                    f"shard '{previous['shard']}' failed checksum "
+                    f"verification on resume (expected sha256 {expected}); "
+                    "the corrupt bytes were set aside as "
+                    f"'{previous['shard']}.corrupt' and the unit re-queued")
+        elif previous.get("error"):
+            state["error"] = previous["error"]
+        restored.append(state)
     return restored, manifest
 
 
@@ -423,10 +481,108 @@ def _mark_done(state: dict, record: dict) -> None:
     state.pop("error", None)
 
 
-def _mark_failed(state: dict, error: str) -> None:
-    state["status"] = "failed"
+def _mark_quarantined(state: dict, error: str) -> None:
+    """A unit that exhausted its retries: recorded, skipped, reported."""
+    state["status"] = "quarantined"
     state["error"] = error
     state["shard"] = None
+
+
+# ---------------------------------------------------------------------- #
+# Claim layer — multi-process / multi-host mutual exclusion per unit
+# ---------------------------------------------------------------------- #
+
+_CLAIMS_DIR = ".claims"
+
+
+def _claim_file(path: str, index: int) -> str:
+    return os.path.join(path, _CLAIMS_DIR, f"unit-{index:06d}.claim")
+
+
+def _try_claim_unit(path: str, index: int, ttl: float) -> bool:
+    """Atomically claim unit ``index`` for this process.
+
+    The claim is an ``O_CREAT|O_EXCL`` file — on any POSIX filesystem
+    (NFS included, for this flag combination) exactly one creator wins,
+    which is what lets concurrent ``resume`` runs on a shared store divide
+    the pending units without ever executing one twice.  A claim older
+    than ``ttl`` seconds (by mtime) belongs to a presumed-dead run and is
+    taken over.  Returns False when another live run holds the unit.
+    """
+    claim = _claim_file(path, index)
+    os.makedirs(os.path.dirname(claim), exist_ok=True)
+    for _ in range(2):
+        try:
+            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - os.path.getmtime(claim)
+            except OSError:
+                continue  # holder released between EXCL and stat; retry
+            if age <= ttl:
+                return False
+            try:  # stale: the holder died without releasing; take over
+                os.remove(claim)
+            except OSError:
+                pass
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"pid": os.getpid(), "time": time.time()}, handle)
+        return True
+    return False
+
+
+def _release_claim(path: str, index: int) -> None:
+    try:
+        os.remove(_claim_file(path, index))
+    except OSError:
+        pass
+
+
+def _commit_lock_file(path: str) -> str:
+    return os.path.join(path, _CLAIMS_DIR, "manifest.lock")
+
+
+def _acquire_commit_lock(path: str, stale: float = 30.0) -> None:
+    """Serialise manifest commits across concurrent resume runs.
+
+    A commit is a read-modify-write of ``manifest.json`` (adopt the
+    latest on-disk state, then rewrite the whole file); two unserialised
+    commits can interleave so the later write erases the earlier one's
+    freshly committed unit — after which the earlier run's released
+    claim no longer protects it and a competitor re-executes it.  The
+    lock is held only for the few milliseconds of the adopt+write cycle;
+    a lock older than ``stale`` seconds belongs to a dead run and is
+    broken.
+    """
+    lock = _commit_lock_file(path)
+    os.makedirs(os.path.dirname(lock), exist_ok=True)
+    while True:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - os.path.getmtime(lock)
+            except OSError:
+                continue  # released between EXCL and stat; retry at once
+            if age > stale:
+                try:
+                    os.remove(lock)
+                except OSError:
+                    pass
+                continue
+            time.sleep(0.005)
+            continue
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        return
+
+
+def _release_commit_lock(path: str) -> None:
+    try:
+        os.remove(_commit_lock_file(path))
+    except OSError:
+        pass
 
 
 # ---------------------------------------------------------------------- #
@@ -477,13 +633,26 @@ def _run_units_parallel(spec: DatasetJobSpec, path: str, pending: List[int],
                         states: Dict[int, dict], workers: int,
                         commit: Callable[[], None],
                         progress: Optional[Callable[[int, int, int], None]],
-                        start_method: Optional[str]) -> None:
-    """Farm pending units out to worker processes, dynamically scheduled.
+                        start_method: Optional[str],
+                        policy: SupervisionPolicy,
+                        budget: RestartBudget,
+                        try_take: Callable[[int], bool],
+                        finish: Callable[[int], None],
+                        handle_failure: Callable[[int, str], bool]) -> None:
+    """Farm pending units out to supervised workers, dynamically scheduled.
 
     Units are handed out one at a time as workers free up (units can have
     very different costs — simulation duration and topology size are sweep
     axes), and the manifest is committed after every completed unit so an
     interrupted run keeps everything already finished.
+
+    Supervision: a worker that dies or blows its per-unit deadline is
+    reaped and respawned (spending ``budget``) and its unit goes through
+    ``handle_failure`` — re-queued at the front (the replacement's RNG
+    stream makes the rerun bit-identical) or quarantined once its retries
+    are spent.  ``try_take(index)`` is the dispatch gate (claim files +
+    adopted-progress check); ``finish(index)`` runs on success or
+    quarantine (claim release).
     """
     if start_method is None:
         available = mp.get_all_start_methods()
@@ -491,73 +660,104 @@ def _run_units_parallel(spec: DatasetJobSpec, path: str, pending: List[int],
     context = mp.get_context(start_method)
     payload = pickle.dumps((spec, path))
     count = min(workers, len(pending))
-    connections = []
-    processes = []
+
+    def spawn(rank: int):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(target=_factory_worker_main,
+                                  args=(child_conn, payload), daemon=True)
+        process.start()
+        child_conn.close()
+        try:
+            reply = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            raise RuntimeError(
+                f"factory worker {rank} died during start-up "
+                f"({error!r})") from error
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"factory worker {rank} failed to start:\n{reply[1]}")
+        return process, parent_conn
+
     queue = list(pending)
     done_count = 0
     total = len(pending)
+    farm: List[SupervisedWorker] = []
+    #: rank -> (unit index, absolute deadline or None)
+    in_flight: Dict[int, Tuple[int, Optional[float]]] = {}
+
+    def dispatch(worker: SupervisedWorker) -> None:
+        """Hand the worker its next dispatchable unit, if any."""
+        while queue:
+            index = queue.pop(0)
+            if not try_take(index):
+                continue
+            while True:
+                try:
+                    worker.send(("unit", index))
+                    break
+                except WorkerDied as error:
+                    budget.spend(str(error))
+                    worker.respawn()
+            in_flight[worker.rank] = (index, policy.deadline())
+            return
+
+    def recover(rank: int, reason: str) -> None:
+        """Respawn a dead/hung worker; route its unit through retry."""
+        index, _ = in_flight.pop(rank)
+        budget.spend(reason)
+        farm[rank].respawn()  # reaps first — a hung process is killed
+        if handle_failure(index, reason):
+            queue.insert(0, index)  # retry promptly (claim is still held)
+        dispatch(farm[rank])
+
     try:
-        for _ in range(count):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(target=_factory_worker_main,
-                                      args=(child_conn, payload), daemon=True)
-            process.start()
-            child_conn.close()
-            connections.append(parent_conn)
-            processes.append(process)
-        in_flight: Dict = {}
-        for conn in connections:
-            reply = conn.recv()
-            if reply[0] == "error":
-                raise RuntimeError(f"factory worker failed to start:\n{reply[1]}")
-            if queue:
-                index = queue.pop(0)
-                conn.send(("unit", index))
-                in_flight[conn] = index
+        farm = [SupervisedWorker(rank, spawn) for rank in range(count)]
+        for worker in farm:
+            dispatch(worker)
         while in_flight:
-            for conn in mp.connection.wait(list(in_flight)):
-                index = in_flight.pop(conn)
+            by_conn = {farm[rank].conn: rank for rank in in_flight}
+            ready = mp.connection.wait(list(by_conn),
+                                       timeout=policy.poll_interval)
+            for conn in ready:
+                rank = by_conn[conn]
+                worker = farm[rank]
+                index, _ = in_flight[rank]
                 try:
                     reply = conn.recv()
                 except (EOFError, OSError) as error:
-                    # The unit stays pending (not failed): nothing tells us
-                    # the work itself was at fault, and its partial output
-                    # is at worst a .tmp the next run overwrites.
-                    raise RuntimeError(
-                        f"factory worker died while generating unit {index} "
-                        f"({error!r}); completed units are committed — "
-                        "re-run with resume to continue") from error
+                    recover(rank, f"factory worker {rank} died while "
+                                  f"generating unit {index} ({error!r})")
+                    continue
+                in_flight.pop(rank)
                 kind = reply[0]
                 if kind == "done":
                     _mark_done(states[reply[1]], reply[2])
+                    done_count += 1
+                    # Commit, then release the claim (see the serial path).
+                    commit()
+                    finish(reply[1])
+                    if progress is not None:
+                        progress(reply[1], done_count, total)
                 elif kind == "failed":
-                    _mark_failed(states[reply[1]], reply[2])
+                    if handle_failure(reply[1], reply[2]):
+                        queue.insert(0, reply[1])
                 else:
                     raise RuntimeError(f"unexpected worker reply {kind!r}")
-                done_count += 1
-                commit()
-                if progress is not None:
-                    progress(reply[1], done_count, total)
-                if queue:
-                    next_index = queue.pop(0)
-                    conn.send(("unit", next_index))
-                    in_flight[conn] = next_index
+                dispatch(worker)
+            now = time.monotonic()
+            for rank in list(in_flight):
+                index, deadline = in_flight[rank]
+                if farm[rank].is_dead():
+                    recover(rank, f"factory worker {rank} (exit code "
+                                  f"{farm[rank].process.exitcode}) died while "
+                                  f"generating unit {index}")
+                elif deadline is not None and now > deadline:
+                    recover(rank, f"factory worker {rank} exceeded the task "
+                                  f"timeout on unit {index} and is presumed "
+                                  "hung")
     finally:
-        for conn in connections:
-            try:
-                conn.send(("close",))
-            except (OSError, ValueError):
-                pass
-        for process in processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1)
-        for conn in connections:
-            try:
-                conn.close()
-            except OSError:
-                pass
+        for worker in farm:
+            worker.close(farewell=("close",))
 
 
 def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
@@ -565,7 +765,11 @@ def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
             progress: Optional[Callable[[int, int, int], None]] = None,
             fit_normalizer: bool = True,
             metadata: Optional[dict] = None,
-            start_method: Optional[str] = None) -> dict:
+            start_method: Optional[str] = None,
+            max_retries: int = 2,
+            task_timeout: Optional[float] = None,
+            max_restarts: Optional[int] = None,
+            claim_ttl: float = 3600.0) -> dict:
     """Execute a job spec's pending units into the store at ``path``.
 
     Parameters
@@ -575,8 +779,9 @@ def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
         unit content never depends on the execution engine).
     resume:
         Continue a store already holding this job's catalog: only units
-        that are missing, failed, or whose shard file has disappeared are
-        executed.  Without it, an existing catalog is refused.
+        that are missing, quarantined, whose shard file has disappeared,
+        or whose shard fails its checksum are executed.  Without it, an
+        existing catalog is refused.
     limit:
         Execute at most this many units this invocation (budgeted top-up);
         the rest stay pending for a later ``resume`` run.
@@ -586,61 +791,171 @@ def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
     fit_normalizer:
         When the job completes, fit a :class:`FeatureNormalizer` by
         streaming the finished store and record it in the manifest.
+    max_retries:
+        Extra executions a failing unit gets (crash, hang or exception)
+        before it is quarantined.  Every execution counts into the unit's
+        cumulative catalog ``attempts``.
+    task_timeout:
+        Seconds one unit may run on a worker before the worker is presumed
+        hung, killed and respawned (``None`` disables).
+    max_restarts:
+        Worker respawns this run may spend before giving up (default 8).
+    claim_ttl:
+        Seconds after which another run's unit claim counts as stale and
+        is taken over (its holder presumed dead).
 
-    Returns :func:`job_status` of the store.  Raises ``RuntimeError`` when
-    units failed (after committing everything else; resume retries them).
+    Returns :func:`job_status` of the store.  A run with quarantined units
+    **completes** (their errors are in the catalog and the status report;
+    the CLI exits non-zero); only unrecoverable farm errors raise — after
+    flushing the catalog, so the store is always resumable from its last
+    committed unit.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    policy = SupervisionPolicy(
+        task_timeout=task_timeout, max_retries=max_retries,
+        max_restarts=8 if max_restarts is None else max_restarts)
     os.makedirs(path, exist_ok=True)
     units_state, previous_manifest = _load_units_state(spec, path, resume)
     states = {state["index"]: state for state in units_state}
     previous_metadata = (previous_manifest or {}).get("metadata") or {}
     manifest_metadata = {**previous_metadata, **(metadata or {})}
+    held_claims: set = set()
+
+    def adopt_external_progress() -> None:
+        """Fold units committed by a concurrent run into our state.
+
+        Two resumes sharing one store each rewrite the whole manifest;
+        without adoption, each rewrite would erase the other's finished
+        units.  Claims guarantee a unit we hold is never concurrently
+        done elsewhere, so adoption only ever fills in units we skipped.
+        """
+        if not is_sharded_store(path):
+            return
+        try:
+            manifest = _read_manifest(path)
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - race
+            return
+        for record in (manifest.get("catalog") or {}).get("units", []):
+            state = states.get(record.get("index"))
+            if (state is None or state["status"] == "done"
+                    or record.get("index") in held_claims):
+                continue
+            if (record.get("status") == "done" and record.get("shard")
+                    and os.path.isfile(os.path.join(path, record["shard"]))):
+                state.clear()
+                state.update(record)
 
     def commit(normalizer: Optional[FeatureNormalizer] = None) -> None:
-        _write_manifest(path, _build_manifest(spec, units_state,
-                                              normalizer=normalizer,
-                                              metadata=manifest_metadata))
+        # Adopt-then-write must be atomic with respect to other runs'
+        # commits, or the write clobbers records they committed since our
+        # read (see _acquire_commit_lock).
+        _acquire_commit_lock(path)
+        try:
+            adopt_external_progress()
+            _write_manifest(path, _build_manifest(spec, units_state,
+                                                  normalizer=normalizer,
+                                                  metadata=manifest_metadata))
+        finally:
+            _release_commit_lock(path)
 
+    def try_take(index: int) -> bool:
+        """Dispatch gate: claim the unit and re-check it is still needed."""
+        if states[index]["status"] == "done":
+            return False
+        if index not in held_claims:
+            if not _try_claim_unit(path, index, claim_ttl):
+                return False  # another live run is generating it right now
+            # The claim may have been released by a run that *finished* the
+            # unit; adopt before re-executing it pointlessly (and, worse,
+            # racing a reader of its committed shard).  The unit must not
+            # be in held_claims yet — adoption skips held units (they are
+            # ours to execute), and here done-ness is the very thing being
+            # re-checked.
+            adopt_external_progress()
+            if states[index]["status"] == "done":
+                _release_claim(path, index)
+                return False
+            held_claims.add(index)
+        states[index]["attempts"] = int(states[index].get("attempts", 0)) + 1
+        attempts_this_run[index] = attempts_this_run.get(index, 0) + 1
+        return True
+
+    def finish(index: int) -> None:
+        if index in held_claims:
+            held_claims.discard(index)
+            _release_claim(path, index)
+
+    def handle_failure(index: int, error: str) -> bool:
+        """Retry (True) or quarantine (False) a failed execution."""
+        if attempts_this_run.get(index, 0) <= policy.max_retries:
+            states[index]["error"] = error
+            commit()
+            return True
+        _mark_quarantined(states[index], error)
+        commit()
+        finish(index)
+        return False
+
+    attempts_this_run: Dict[int, int] = {}
     pending = [state["index"] for state in units_state
                if state["status"] != "done"]
     if limit is not None:
         if limit < 0:
             raise ValueError("limit must be non-negative")
         pending = pending[:limit]
-    # Commit the full unit plan up front so `status` sees pending units
-    # (and an interrupted first run is already resumable).
-    commit()
 
-    if workers == 1:
-        units = expand_units(spec)
-        total = len(pending)
-        for done_count, index in enumerate(pending, start=1):
-            try:
-                _mark_done(states[index], execute_unit(spec, units[index], path))
-            except KeyboardInterrupt:
-                raise
-            except Exception:  # noqa: BLE001 - record, continue, raise at end
-                _mark_failed(states[index], traceback.format_exc())
+    try:
+        # Commit the full unit plan up front so `status` sees pending units
+        # (and an interrupted first run is already resumable).
+        commit()
+        if workers == 1:
+            units = expand_units(spec)
+            total = len(pending)
+            done_count = 0
+            queue = list(pending)
+            while queue:
+                index = queue.pop(0)
+                if not try_take(index):
+                    continue
+                try:
+                    record = execute_unit(spec, units[index], path)
+                except KeyboardInterrupt:
+                    raise
+                except Exception:  # noqa: BLE001 - retry, then quarantine
+                    if handle_failure(index, traceback.format_exc()):
+                        queue.insert(0, index)
+                    continue
+                _mark_done(states[index], record)
+                done_count += 1
+                # Commit before releasing the claim: once the claim is gone
+                # a concurrent resume may take the unit, and only the
+                # committed manifest tells it the work is already done.
+                commit()
+                finish(index)
+                if progress is not None:
+                    progress(index, done_count, total)
+        else:
+            _run_units_parallel(spec, path, pending, states, workers, commit,
+                                progress, start_method, policy,
+                                RestartBudget(policy.max_restarts),
+                                try_take, finish, handle_failure)
+    except BaseException:
+        # Unrecoverable (restart budget, spawn failure, interrupt): flush
+        # what finished so the crashed run resumes from its last commit.
+        try:
             commit()
-            if progress is not None:
-                progress(index, done_count, total)
-    else:
-        _run_units_parallel(spec, path, pending, states, workers, commit,
-                            progress, start_method)
+        except Exception:  # noqa: BLE001 - the original error matters more
+            pass
+        raise
+    finally:
+        for index in list(held_claims):
+            finish(index)
 
-    failed = [state["index"] for state in units_state
-              if state["status"] == "failed"]
     complete = all(state["status"] == "done" for state in units_state)
     if complete and fit_normalizer:
         normalizer = FeatureNormalizer().fit(ShardedDatasetReader(path))
         commit(normalizer=normalizer)
-    if failed:
-        raise RuntimeError(
-            f"{len(failed)} unit(s) failed: {failed} — completed units are "
-            f"committed; re-run with resume=True to retry (per-unit errors "
-            f"are recorded in the catalog)")
     return job_status(path)
 
 
@@ -649,8 +964,10 @@ def run_job(spec: DatasetJobSpec, path: str, workers: int = 1,
 # ---------------------------------------------------------------------- #
 
 def job_status(path: str) -> dict:
-    """Per-unit progress of a factory store: done/pending/failed counts,
-    sample totals and aggregate generation cost."""
+    """Per-unit progress of a factory store: done/pending/quarantined
+    counts, cumulative execution attempts, sample totals and aggregate
+    generation cost.  ``failed_units`` is kept as a legacy alias of
+    ``quarantined_units``."""
     if not is_sharded_store(path):
         raise FileNotFoundError(f"no sharded dataset store at '{path}'")
     manifest = _read_manifest(path)
@@ -658,16 +975,21 @@ def job_status(path: str) -> dict:
     if catalog is None:
         raise ValueError(f"'{path}' is a sharded store without a factory catalog")
     units = catalog.get("units", [])
-    by_status: Dict[str, List[int]] = {"done": [], "pending": [], "failed": []}
+    by_status: Dict[str, List[int]] = {"done": [], "pending": [],
+                                       "quarantined": [], "failed": []}
     for state in units:
         by_status.setdefault(state.get("status", "pending"), []).append(state["index"])
+    # Pre-quarantine catalogs recorded exhausted units as "failed".
+    quarantined = by_status["quarantined"] + by_status["failed"]
     done = [state for state in units if state.get("status") == "done"]
     return {
         "path": path,
         "total_units": len(units),
         "done_units": len(by_status["done"]),
         "pending_units": len(by_status["pending"]),
-        "failed_units": by_status["failed"],
+        "quarantined_units": quarantined,
+        "failed_units": quarantined,
+        "total_attempts": sum(int(state.get("attempts", 0)) for state in units),
         "complete": len(by_status["done"]) == len(units) and bool(units),
         "samples_written": sum(state.get("written_samples", 0) for state in done),
         "total_samples_planned": sum(state.get("num_samples", 0) for state in units),
@@ -695,10 +1017,16 @@ def format_job_status(status: dict) -> str:
         rate = status["events_processed"] / max(status["generation_seconds"], 1e-9)
         lines.insert(4, f"simulator events    : {status['events_processed']} "
                         f"({rate:.0f} events/sec)")
-    if status["failed_units"]:
-        lines.append(f"FAILED units        : {status['failed_units']} "
-                     "(errors recorded in the catalog; re-run with --resume)")
-    elif status["pending_units"]:
+    attempts = status.get("total_attempts", 0)
+    if attempts > status["done_units"]:
+        retries = attempts - status["done_units"]
+        lines.append(f"execution attempts  : {attempts} "
+                     f"({retries} beyond one per finished unit)")
+    if status["quarantined_units"]:
+        lines.append(f"QUARANTINED units   : {status['quarantined_units']} "
+                     "(tracebacks recorded in the catalog; re-run with "
+                     "--resume to retry them)")
+    if status["pending_units"]:
         lines.append(f"pending units       : {status['pending_units']} "
                      "(re-run with --resume to top up)")
     return "\n".join(lines)
@@ -713,7 +1041,11 @@ def merge_catalogs(sources: Sequence[str], output: str,
     (plus ``source`` / ``source_index`` provenance), so the merged catalog
     still tells exactly which job, seed path and config produced every
     shard.  Sources may mix payload encodings — the reader dispatches its
-    decoder per shard file.  Returns the merged store's :func:`job_status`.
+    decoder per shard file — but **not** simulator versions: mixing
+    samples produced by different generator/simulator code would silently
+    poison the merged store's provenance, so mismatched
+    ``simulator_version`` values are refused with an error naming each
+    source's version.  Returns the merged store's :func:`job_status`.
     """
     if not sources:
         raise ValueError("at least one source store is required")
@@ -726,6 +1058,7 @@ def merge_catalogs(sources: Sequence[str], output: str,
     jobs = []
     payloads = set()
     versions = set()
+    source_versions: List[Tuple[str, object]] = []
     for source in sources:
         if not is_sharded_store(source):
             raise FileNotFoundError(f"no sharded dataset store at '{source}'")
@@ -737,6 +1070,15 @@ def merge_catalogs(sources: Sequence[str], output: str,
                 "only factory stores carry the provenance a merge preserves")
         payloads.add(manifest.get("payload"))
         versions.add(catalog.get("simulator_version"))
+        if len(versions) > 1:
+            raise ValueError(
+                "refusing to merge catalogs with mismatched simulator "
+                "versions — the merged store's provenance would silently "
+                "mix generator code: "
+                + ", ".join(f"'{src}' → {ver}" for src, ver in source_versions
+                            + [(source, catalog.get("simulator_version"))])
+                + "; regenerate the outdated store(s) first")
+        source_versions.append((source, catalog.get("simulator_version")))
         jobs.append({"source": source, "job": catalog.get("job", {}),
                      "fingerprint": catalog.get("fingerprint")})
         for state in catalog.get("units", []):
@@ -753,8 +1095,11 @@ def merge_catalogs(sources: Sequence[str], output: str,
             merged.update({"index": new_index, "shard": new_name,
                            "source": source, "source_index": state["index"]})
             merged_units.append(merged)
-            shards.append({"name": new_name,
-                           "num_samples": state["written_samples"]})
+            shard = {"name": new_name,
+                     "num_samples": state["written_samples"]}
+            if state.get("sha256"):  # the copy has the same bytes
+                shard["sha256"] = state["sha256"]
+            shards.append(shard)
     if not merged_units:
         raise ValueError("no completed units found in the source stores")
     payload = payloads.pop() if len(payloads) == 1 else "mixed"
@@ -768,8 +1113,7 @@ def merge_catalogs(sources: Sequence[str], output: str,
         "catalog": {
             "job": {"merged_from": jobs},
             "fingerprint": None,
-            "simulator_version": (versions.pop() if len(versions) == 1
-                                  else sorted(str(v) for v in versions)),
+            "simulator_version": versions.pop(),
             "units": merged_units,
         },
     }

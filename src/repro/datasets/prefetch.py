@@ -25,6 +25,13 @@ batch membership, same RNG draws, same visit order — to the in-memory
 trainer's pre-merged static batches, which is what the bit-exact
 streamed-vs-in-memory equivalence tests pin down.  Smaller windows bound
 memory at the cost of bucketing (and shuffling) only within each window.
+
+Integrity: the source iterable is typically a
+:class:`~repro.datasets.sharded.ShardedDatasetReader`, which (by default)
+verifies each shard's SHA-256 against the store manifest the first time the
+shard is opened.  A corrupted shard therefore surfaces as a ``ValueError``
+raised out of the producer thread and re-raised in the trainer on the next
+batch request — streamed training never silently consumes damaged bytes.
 """
 
 from __future__ import annotations

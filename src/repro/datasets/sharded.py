@@ -41,17 +41,31 @@ back truncated; rewriting an existing store keeps the old generation fully
 readable until the new manifest lands (rewrite shards carry a unique
 ``shard-<token>-NNNNN`` name prefix so the generations cannot collide, and
 the superseded files are deleted only after the commit).
+
+Integrity goes beyond crash atomicity: every shard's SHA-256 is computed
+over the finished ``.tmp`` bytes and stamped into its manifest record, and
+:class:`ShardedDatasetReader` re-hashes each shard the first time it reads
+it (per reader instance), refusing silently rotten bytes with an error
+naming the file and both digests.  Shard bytes are deterministic functions
+of their samples in both payloads (JSONL shards are gzipped with a fixed
+mtime and no embedded filename; npz archives carry no timestamps), which
+is what lets the fault-tolerance tests assert byte-identical stores across
+crash/recover runs.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
+import io
 import json
 import math
 import os
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.testing.faults import fault_point
 
 from repro.datasets.normalization import FeatureNormalizer
 from repro.datasets.sample import Sample
@@ -68,6 +82,7 @@ __all__ = [
     "shard_size_for",
     "shard_extension",
     "write_shard",
+    "file_sha256",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -160,6 +175,61 @@ def _decode_sample(get, available, meta_json: str) -> Sample:
     )
 
 
+def file_sha256(path: str) -> str:
+    """Hex SHA-256 of a file's bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _open_deterministic_gzip_text(path: str):
+    """Open ``path`` for gzipped text writing with byte-deterministic output.
+
+    Plain ``gzip.open`` embeds the current mtime (and, given a filename, the
+    name itself) in the gzip header, so two writes of identical samples
+    differ at the byte level.  Pinning ``mtime=0`` over an anonymous
+    ``fileobj`` makes shard bytes a pure function of their contents — the
+    property the checksum layer and the crash-recovery tests lean on.
+    """
+    raw = open(path, "wb")
+    try:
+        compressed = gzip.GzipFile(fileobj=raw, mode="wb", mtime=0)
+    except Exception:
+        raw.close()
+        raise
+    text = io.TextIOWrapper(compressed, encoding="utf-8")
+    # Closing the TextIOWrapper closes the GzipFile but not the raw file;
+    # chain it so one close() releases all three layers.
+    original_close = text.close
+
+    def close_all() -> None:
+        original_close()
+        if not compressed.closed:
+            compressed.close()
+        if not raw.closed:
+            raw.close()
+
+    text.close = close_all  # type: ignore[method-assign]
+    return text
+
+
+def _commit_shard(directory: str, name: str) -> str:
+    """Hash the finished ``.tmp`` shard and rename it into place.
+
+    Returns the shard's hex SHA-256 (of exactly the bytes that now live
+    under the final name).  The :func:`fault_point` lets the chaos suite
+    kill the writer *between* finishing the bytes and the rename — the
+    window where crash atomicity is earned.
+    """
+    temporary = os.path.join(directory, name + ".tmp")
+    digest = file_sha256(temporary)
+    fault_point("sharded.shard.pre_replace", name=name)
+    os.replace(temporary, os.path.join(directory, name))
+    return digest
+
+
 def shard_extension(payload: str) -> str:
     """File extension of one shard in the given payload encoding."""
     if payload == "binary":
@@ -170,14 +240,15 @@ def shard_extension(payload: str) -> str:
 
 
 def _write_binary_shard(directory: str, name: str,
-                        encoded: List[Tuple[dict, str]]) -> None:
+                        encoded: List[Tuple[dict, str]]) -> str:
     """Atomically write one format-3 npz shard from encoded samples.
 
     One npz archive per shard: sample ``i``'s arrays live under the key
     prefix ``s{i:05d}.`` and the per-sample JSON strings stack into one
     unicode "meta" array (also the sample count).  Written to a ``.tmp``
     name and :func:`os.replace`-d into place, so a killed writer never
-    leaves a partially written shard under the final name.
+    leaves a partially written shard under the final name.  Returns the
+    committed shard's hex SHA-256.
     """
     temporary = os.path.join(directory, name + ".tmp")
     archive = {}
@@ -190,7 +261,7 @@ def _write_binary_shard(directory: str, name: str,
     archive["meta"] = np.array(metas)
     with open(temporary, "wb") as handle:
         np.savez(handle, **archive)
-    os.replace(temporary, os.path.join(directory, name))
+    return _commit_shard(directory, name)
 
 
 def write_shard(directory: str, name: str, samples, payload: str = "binary") -> dict:
@@ -203,7 +274,8 @@ def write_shard(directory: str, name: str, samples, payload: str = "binary") -> 
     ``os.replace``), so concurrent writers of *different* names never
     interfere and a killed writer leaves at worst a ``.tmp`` residue.
 
-    Returns the shard's manifest record ``{"name": ..., "num_samples": ...}``.
+    Returns the shard's manifest record
+    ``{"name": ..., "num_samples": ..., "sha256": ...}``.
     ``name`` must carry the extension matching ``payload`` (see
     :func:`shard_extension`) — the reader dispatches its decoder on it.
     """
@@ -214,15 +286,16 @@ def write_shard(directory: str, name: str, samples, payload: str = "binary") -> 
             f"(expected the '{extension}' extension)")
     samples = list(samples)
     if payload == "binary":
-        _write_binary_shard(directory, name, [_encode_sample(s) for s in samples])
+        digest = _write_binary_shard(
+            directory, name, [_encode_sample(s) for s in samples])
     else:
         temporary = os.path.join(directory, name + ".tmp")
-        with gzip.open(temporary, "wt", encoding="utf-8") as handle:
+        with _open_deterministic_gzip_text(temporary) as handle:
             for sample in samples:
                 json.dump(sample.to_dict(), handle)
                 handle.write("\n")
-        os.replace(temporary, os.path.join(directory, name))
-    return {"name": name, "num_samples": len(samples)}
+        digest = _commit_shard(directory, name)
+    return {"name": name, "num_samples": len(samples), "sha256": digest}
 
 
 def is_sharded_store(path: str) -> bool:
@@ -231,9 +304,14 @@ def is_sharded_store(path: str) -> bool:
 
 
 def _write_manifest(path: str, manifest: dict) -> None:
-    """Atomically (re)write the manifest — the store's commit point."""
+    """Atomically (re)write the manifest — the store's commit point.
+
+    The temp name carries the writer's pid: concurrent ``--resume`` runs
+    committing the same store (coordinated per *unit* by claim files, but
+    free to interleave manifest commits) must not rename each other's
+    half-written temp file out from under the replace."""
     target = os.path.join(path, MANIFEST_NAME)
-    temporary = target + ".tmp"
+    temporary = f"{target}.{os.getpid()}.tmp"
     with open(temporary, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
     os.replace(temporary, target)
@@ -320,7 +398,7 @@ class ShardedDatasetWriter:
 
     def _open_shard(self) -> None:
         temporary = os.path.join(self.path, self._shard_name() + ".tmp")
-        self._handle = gzip.open(temporary, "wt", encoding="utf-8")
+        self._handle = _open_deterministic_gzip_text(temporary)
         self._current_count = 0
 
     def _seal_shard(self) -> None:
@@ -329,8 +407,10 @@ class ShardedDatasetWriter:
             if not self._pending:
                 return
             name = self._shard_name()
-            _write_binary_shard(self.path, name, self._pending)
-            self._shards.append({"name": name, "num_samples": len(self._pending)})
+            digest = _write_binary_shard(self.path, name, self._pending)
+            self._shards.append({"name": name,
+                                 "num_samples": len(self._pending),
+                                 "sha256": digest})
             self._pending = []
             self._current_count = 0
             return
@@ -339,9 +419,10 @@ class ShardedDatasetWriter:
         self._handle.close()
         self._handle = None
         name = self._shard_name()
-        os.replace(os.path.join(self.path, name + ".tmp"),
-                   os.path.join(self.path, name))
-        self._shards.append({"name": name, "num_samples": self._current_count})
+        digest = _commit_shard(self.path, name)
+        self._shards.append({"name": name,
+                             "num_samples": self._current_count,
+                             "sha256": digest})
         self._current_count = 0
 
     def write(self, sample: Sample) -> None:
@@ -440,14 +521,25 @@ class ShardedDatasetReader:
     per training epoch).  Iteration parses one JSONL line into a
     :class:`Sample` at a time, so only O(1) samples are ever live — the
     property the out-of-core training path is built on.
+
+    With ``verify_checksums=True`` (the default) each shard's bytes are
+    re-hashed the **first** time this reader instance touches it and
+    compared to the SHA-256 stamped in the manifest; a mismatch raises
+    :class:`ValueError` naming the file and both digests instead of
+    silently decoding rotten data.  Verification costs one extra pass over
+    the shard's (compressed) bytes on the first epoch only — later epochs
+    decode straight from disk — and is skipped for shards whose manifest
+    record predates checksums.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, verify_checksums: bool = True) -> None:
         if not is_sharded_store(path):
             raise FileNotFoundError(
                 f"no sharded dataset store at '{path}' (expected a directory "
                 f"containing {MANIFEST_NAME})")
         self.path = path
+        self.verify_checksums = verify_checksums
+        self._verified_shards: set = set()
         with open(os.path.join(path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         version = manifest.get("format_version")
@@ -476,13 +568,39 @@ class ShardedDatasetReader:
     def __len__(self) -> int:
         return int(self._manifest["total_samples"])
 
+    def _checked_source(self, shard: dict, shard_path: str):
+        """The shard's decode source: its path, or verified in-memory bytes.
+
+        First touch of a checksummed shard reads the whole file once,
+        compares digests, and hands the already-read bytes to the decoder
+        (so verification never costs a second disk pass); later touches —
+        and shards without a recorded checksum — decode from the path.
+        """
+        expected = shard.get("sha256")
+        if (not self.verify_checksums or expected is None
+                or shard["name"] in self._verified_shards):
+            return shard_path
+        with open(shard_path, "rb") as handle:
+            blob = handle.read()
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != expected:
+            raise ValueError(
+                f"shard '{shard_path}' failed checksum verification: "
+                f"manifest records sha256 {expected} but the file hashes to "
+                f"{actual} — the shard was corrupted after commit; "
+                "regenerate it (factory stores: `repro-net generate "
+                "--resume` quarantines and re-executes the unit)")
+        self._verified_shards.add(shard["name"])
+        return io.BytesIO(blob)
+
     def __iter__(self) -> Iterator[Sample]:
         for shard in self._manifest["shards"]:
             shard_path = os.path.join(self.path, shard["name"])
+            source = self._checked_source(shard, shard_path)
             if shard["name"].endswith(".npz"):
-                count = yield from self._iter_binary_shard(shard_path)
+                count = yield from self._iter_binary_shard(source)
             else:
-                count = yield from self._iter_jsonl_shard(shard_path)
+                count = yield from self._iter_jsonl_shard(source)
             if count != shard["num_samples"]:
                 raise ValueError(
                     f"shard '{shard['name']}' of '{self.path}' holds {count} "
@@ -490,9 +608,9 @@ class ShardedDatasetReader:
                     "(truncated or corrupted shard)")
 
     @staticmethod
-    def _iter_jsonl_shard(shard_path: str):
+    def _iter_jsonl_shard(source):
         count = 0
-        with gzip.open(shard_path, "rt", encoding="utf-8") as handle:
+        with gzip.open(source, "rt", encoding="utf-8") as handle:
             for line in handle:
                 if not line.strip():
                     continue
@@ -501,8 +619,8 @@ class ShardedDatasetReader:
         return count
 
     @staticmethod
-    def _iter_binary_shard(shard_path: str):
-        with np.load(shard_path, allow_pickle=False) as archive:
+    def _iter_binary_shard(source):
+        with np.load(source, allow_pickle=False) as archive:
             available = set(archive.files)
             metas = archive["meta"]
             for i in range(len(metas)):

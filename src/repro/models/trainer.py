@@ -7,6 +7,7 @@ import dataclasses
 import json
 import os
 import time
+import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -76,7 +77,14 @@ class TrainerConfig:
     ``num_workers > 1``: ``"process"`` (default) runs a persistent
     multiprocessing worker pool; ``"serial"`` executes the identical grouped
     semantics in-process — same parameter trajectory bit for bit — which is
-    useful on single-core machines and for determinism tests.
+    useful on single-core machines and for determinism tests.  When the
+    process pool cannot start at all, ``fit`` degrades to the serial
+    backend with a warning instead of failing the run; a worker that dies
+    or hangs *mid-run* is respawned by the pool itself and its work
+    re-dispatched bit-identically (see :mod:`repro.supervision`).
+    ``task_timeout`` bounds one gradient task's wall time on the process
+    backend — a worker exceeding it is presumed hung, killed and
+    respawned; ``None`` (default) disables the bound.
 
     ``overlap`` (with ``num_workers > 1``) turns on double-buffered
     pipelining: after the optimiser step for group ``k`` the parent
@@ -111,6 +119,7 @@ class TrainerConfig:
     early_stopping_patience: Optional[int] = None
     num_workers: int = 1
     parallel_backend: str = "process"
+    task_timeout: Optional[float] = None
     overlap: bool = False
     prefetch_depth: int = 2
     stream_window: int = 64
@@ -139,6 +148,8 @@ class TrainerConfig:
             raise ValueError("num_workers must be at least 1")
         if self.parallel_backend not in ("process", "serial"):
             raise ValueError("parallel_backend must be 'process' or 'serial'")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
         if self.prefetch_depth < 1:
             raise ValueError("prefetch_depth must be at least 1")
         if self.stream_window < 1:
@@ -434,9 +445,24 @@ class RouteNetTrainer:
 
         executor = None
         if self.config.num_workers > 1:
-            executor = make_gradient_executor(self.model, self.config.num_workers,
-                                              loss=self.config.loss,
-                                              backend=self.config.parallel_backend)
+            try:
+                executor = make_gradient_executor(
+                    self.model, self.config.num_workers,
+                    loss=self.config.loss,
+                    backend=self.config.parallel_backend,
+                    task_timeout=self.config.task_timeout)
+            except Exception as error:  # noqa: BLE001 - degrade, don't die
+                # Pool start-up failure (fork refused, pipe limits, a worker
+                # crashing in its handshake).  The serial backend computes
+                # the identical parameter trajectory, just without the
+                # wall-clock win — strictly better than failing the run.
+                warnings.warn(
+                    f"gradient worker pool failed to start ({error}); "
+                    "falling back to the serial backend (identical results, "
+                    "no parallel speed-up)", RuntimeWarning, stacklevel=2)
+                executor = make_gradient_executor(
+                    self.model, self.config.num_workers,
+                    loss=self.config.loss, backend="serial")
         overlap = self.config.overlap and executor is not None
 
         def make_epoch():
@@ -581,8 +607,14 @@ class RouteNetTrainer:
         follows the uninterrupted trajectory bit for bit.
 
         Format: a compressed ``.npz`` holding the arrays (``model.<name>``
-        weights and ``optim.<buffer>.<i>`` optimiser moments) plus a JSON
-        sidecar with the scalar state.  Returns the ``.npz`` path written.
+        weights and ``optim.<buffer>.<i>`` optimiser moments) **and** the
+        scalar state as an embedded JSON string (key ``meta.json``), so the
+        archive's write-then-rename is the single atomic commit point — a
+        crash between two file writes can never leave weights from one
+        checkpoint paired with metadata from another.  A ``.json`` sidecar
+        with the same metadata is still written afterwards as a
+        human-readable mirror (and for pre-existing tooling), but loading
+        never requires it.  Returns the ``.npz`` path written.
         """
         arrays: Dict[str, np.ndarray] = {
             f"model.{name}": value for name, value in self.model.state_dict().items()}
@@ -609,6 +641,9 @@ class RouteNetTrainer:
             "rng_state": (rng_state if rng_state is not None
                           else self._rng.bit_generator.state),
         }
+        # Embedding the metadata in the archive (a 0-d unicode array) makes
+        # the npz rename below the checkpoint's single commit point.
+        arrays["meta.json"] = np.array(json.dumps(metadata, sort_keys=True))
         if not path.endswith(".npz"):
             path = path + ".npz"
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
@@ -637,13 +672,22 @@ class RouteNetTrainer:
         """
         if not path.endswith(".npz"):
             path = path + ".npz"
-        sidecar = path[: -len(".npz")] + ".json"
-        if not os.path.exists(path) or not os.path.exists(sidecar):
-            raise FileNotFoundError(
-                f"no trainer checkpoint at '{path}' (need both the .npz and "
-                "its .json sidecar)")
-        with open(sidecar, "r", encoding="utf-8") as handle:
-            metadata = json.load(handle)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no trainer checkpoint at '{path}'")
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        if "meta.json" in arrays:
+            metadata = json.loads(str(arrays.pop("meta.json")))
+        else:
+            # Checkpoints written before the metadata was embedded in the
+            # archive keep their scalar state only in the sidecar.
+            sidecar = path[: -len(".npz")] + ".json"
+            if not os.path.exists(sidecar):
+                raise FileNotFoundError(
+                    f"checkpoint '{path}' predates embedded metadata and its "
+                    ".json sidecar is missing")
+            with open(sidecar, "r", encoding="utf-8") as handle:
+                metadata = json.load(handle)
         if metadata.get("model_class") != type(self.model).__name__:
             raise ValueError(
                 f"checkpoint was written for model '{metadata.get('model_class')}', "
@@ -674,8 +718,6 @@ class RouteNetTrainer:
             raise ValueError(
                 f"checkpoint was written with a different training setup ({details}); "
                 "resuming under it would silently optimise a different objective")
-        with np.load(path) as archive:
-            arrays = {key: archive[key] for key in archive.files}
         model_state = {key[len("model."):]: value for key, value in arrays.items()
                        if key.startswith("model.")}
         self.model.load_state_dict(model_state)

@@ -47,6 +47,22 @@ once and steps reference batches by index (the in-memory trainer, whose
 pre-merged batches are reused every epoch), or
 :meth:`submit_group_payload` ships the merged batches inside the step
 messages (the streaming trainer, whose batches exist only transiently).
+
+Fault tolerance
+---------------
+The pool supervises its workers (see :mod:`repro.supervision`): a worker
+that dies or exceeds its per-task timeout is reaped and an identical
+replacement is spawned from the same pickled payload and shared parameter
+ring, the batch cache is re-uploaded, and every message the dead worker
+had not answered is re-sent in order.  Because the parameter slot an
+in-flight group reads from is never overwritten while that group is
+uncollected (the ring has two slots and at most one group is in flight),
+the replacement recomputes exactly the same gradients — a recovered run
+is **bit-identical** to a fault-free one.  Respawns draw on a bounded
+restart budget so a crash-looping farm fails loudly instead of spinning.
+Ordinary in-task exceptions are *not* retried: they re-raise the worker's
+traceback in the parent, exactly as before (a deterministic Python error
+would only fail again).
 """
 
 from __future__ import annotations
@@ -54,13 +70,21 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import traceback
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.losses import huber_loss, mse_loss
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.supervision import (
+    RestartBudget,
+    SupervisedWorker,
+    SupervisionPolicy,
+    WorkerDied,
+    WorkerTimedOut,
+)
+from repro.testing.faults import fault_point
 
 __all__ = [
     "GradientWorkerPool",
@@ -123,8 +147,8 @@ def _replicate(model: Module) -> Module:
     return pickle.loads(pickle.dumps(model))
 
 
-def _worker_main(conn, payload: bytes, param_buffer, param_dtype: str,
-                 param_count: int) -> None:
+def _worker_main(conn, rank: int, payload: bytes, param_buffer,
+                 param_dtype: str, param_count: int) -> None:
     """Worker process loop: cache batches, answer gradient requests.
 
     Protocol (parent → worker):
@@ -154,6 +178,7 @@ def _worker_main(conn, payload: bytes, param_buffer, param_dtype: str,
         model.load_parameters_vector(view)
 
     batches: list = []
+    steps_handled = 0
     try:
         while True:
             message = conn.recv()
@@ -164,6 +189,9 @@ def _worker_main(conn, payload: bytes, param_buffer, param_dtype: str,
             elif kind in ("step", "step_payload"):
                 try:
                     _, slot, work = message
+                    fault_point("pool.step.start", rank=rank,
+                                step=steps_handled)
+                    steps_handled += 1
                     load_params(slot)
                     batch = batches[work] if kind == "step" else work
                     result = _compute_gradient(model, batch, loss_name)
@@ -330,80 +358,179 @@ class GradientWorkerPool(_ExecutorBase):
     start_method:
         ``multiprocessing`` start method; default ``"fork"`` where available
         (near-instant worker start) falling back to ``"spawn"``.
+    supervision:
+        The fault-tolerance policy (see the module docstring).  ``None``
+        uses the defaults: no task timeout, a restart budget of 8.
+    task_timeout:
+        Convenience override for ``supervision.task_timeout`` — seconds one
+        gradient task may run before its worker is presumed hung, killed
+        and respawned.  ``None`` (default) disables the timeout.
     """
 
     def __init__(self, model: Module, num_workers: int = 1, loss: str = "mse",
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 task_timeout: Optional[float] = None) -> None:
         super().__init__()
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         self.num_workers = num_workers
+        if supervision is None:
+            supervision = SupervisionPolicy()
+        if task_timeout is not None:
+            supervision = SupervisionPolicy(
+                task_timeout=task_timeout,
+                max_retries=supervision.max_retries,
+                max_restarts=supervision.max_restarts,
+                poll_interval=supervision.poll_interval)
+        self.supervision = supervision
+        self._restart_budget = RestartBudget(supervision.max_restarts)
         if start_method is None:
             available = mp.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
-        context = mp.get_context(start_method)
-        payload = pickle.dumps((model, loss))
+        self._context = mp.get_context(start_method)
+        self._payload = pickle.dumps((model, loss))
         # The double-buffered broadcast ring: two flat parameter slots in
         # shared memory, written alternately (see the module docstring).
         template = model.parameters_vector()
         self._param_dtype = template.dtype
         self._param_count = int(template.size)
         slot_bytes = max(1, self._param_count * self._param_dtype.itemsize)
-        self._param_buffer = context.RawArray("b", 2 * slot_bytes)
+        self._param_buffer = self._context.RawArray("b", 2 * slot_bytes)
         self._next_slot = 0
-        self._connections = []
-        self._processes = []
+        #: Messages sent to each worker whose reply has not yet arrived,
+        #: in send order — exactly what must be re-dispatched after a
+        #: respawn ("batches" uploads are re-sent from _last_batches
+        #: instead, so they are not tracked here).
+        self._outstanding: Dict[int, List[tuple]] = {}
+        self._last_batches: Optional[list] = None
+        self._workers: List[SupervisedWorker] = []
         try:
-            for _ in range(num_workers):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, payload, self._param_buffer,
-                          self._param_dtype.str, self._param_count),
-                    daemon=True)
-                process.start()
-                child_conn.close()
-                self._connections.append(parent_conn)
-                self._processes.append(process)
-            for rank in range(num_workers):
-                self._expect_ok(rank)
+            # Start-up failures propagate (the trainer degrades to the
+            # serial backend); the restart budget only covers later faults.
+            self._workers = [SupervisedWorker(rank, self._spawn_worker)
+                             for rank in range(num_workers)]
+            self._outstanding = {rank: [] for rank in range(num_workers)}
         except BaseException:
             self.close()
             raise
 
     # ------------------------------------------------------------------ #
-    def _send(self, rank: int, message) -> None:
+    def _spawn_worker(self, rank: int):
+        """Start worker ``rank`` and complete its ready handshake."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, rank, self._payload, self._param_buffer,
+                  self._param_dtype.str, self._param_count),
+            daemon=True)
+        process.start()
+        child_conn.close()
         try:
-            self._connections[rank].send(message)
-        except (BrokenPipeError, OSError) as error:
-            raise RuntimeError(
-                f"gradient worker {rank} died unexpectedly ({error!r}); "
-                "its process may have been killed (e.g. by the OOM killer)") from error
-
-    def _receive(self, rank: int):
-        try:
-            reply = self._connections[rank].recv()
+            reply = parent_conn.recv()
         except (EOFError, OSError) as error:
             raise RuntimeError(
-                f"gradient worker {rank} died unexpectedly ({error!r}); "
-                "its process may have been killed (e.g. by the OOM killer)") from error
+                f"gradient worker {rank} died during start-up "
+                f"({error!r})") from error
         if reply[0] == "error":
-            raise RuntimeError(f"gradient worker {rank} failed:\n{reply[1]}")
-        return reply
+            raise RuntimeError(
+                f"gradient worker {rank} failed to start:\n{reply[1]}")
+        return process, parent_conn
 
-    def _expect_ok(self, rank: int):
-        reply = self._receive(rank)
-        if reply[0] != "ok":  # pragma: no cover - protocol violation
-            raise RuntimeError(f"unexpected reply from worker {rank}: {reply[0]!r}")
-        return reply
+    def _recover(self, rank: int, reason: str) -> None:
+        """Replace a dead/hung worker and re-dispatch its unanswered work.
+
+        The replacement is started from the same pickled payload and the
+        same shared parameter ring; the batch cache is re-uploaded and the
+        rank's outstanding messages are re-sent in their original order —
+        and since the ring slot those messages reference is never rewritten
+        while their group is in flight, the recomputed gradients are
+        bit-identical to what the dead worker would have produced.
+        """
+        worker = self._workers[rank]
+        while True:
+            self._restart_budget.spend(reason)
+            worker.respawn()
+            try:
+                if self._last_batches is not None:
+                    worker.send(("batches", self._last_batches))
+                    reply = worker.recv_within(
+                        self.supervision.deadline(),
+                        self.supervision.poll_interval)
+                    if reply[0] == "error":  # pragma: no cover - upload bug
+                        raise RuntimeError(
+                            f"gradient worker {rank} rejected its batch "
+                            f"re-upload after a respawn:\n{reply[1]}")
+                for message in self._outstanding[rank]:
+                    worker.send(message)
+                return
+            except (WorkerDied, WorkerTimedOut) as error:
+                reason = f"respawned worker {rank} failed again: {error}"
+
+    def _expect_ok(self, rank: int, tasks_queued: int = 1):
+        """Receive one reply from ``rank``, recovering from farm faults.
+
+        Returns the worker's ``("ok", ...)`` tuple; an in-task ``("error",
+        traceback)`` reply raises (deterministic failures are not retried).
+        Worker death or a task timeout triggers :meth:`_recover` and the
+        receive is retried against the replacement.
+        """
+        while True:
+            worker = self._workers[rank]
+            try:
+                reply = worker.recv_within(
+                    self.supervision.deadline(tasks_queued),
+                    self.supervision.poll_interval)
+            except (WorkerDied, WorkerTimedOut) as error:
+                self._recover(rank, str(error))
+                continue
+            if self._outstanding[rank]:
+                self._outstanding[rank].pop(0)
+            if reply[0] == "error":
+                raise RuntimeError(
+                    f"gradient worker {rank} failed:\n{reply[1]}")
+            if reply[0] != "ok":  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"unexpected reply from worker {rank}: {reply[0]!r}")
+            return reply
+
+    def _send_tracked(self, rank: int, message: tuple) -> None:
+        """Send a step message, recovering if the worker is already dead."""
+        while True:
+            try:
+                self._workers[rank].send(message)
+            except WorkerDied as error:
+                self._recover(rank, str(error))
+                continue
+            self._outstanding[rank].append(message)
+            return
 
     # ------------------------------------------------------------------ #
     def set_batches(self, batches: Sequence) -> None:
         """Broadcast the batch list to every worker (replacing its cache)."""
+        self._last_batches = list(batches)
+        acknowledged = set()
         for rank in range(self.num_workers):
-            self._send(rank, ("batches", list(batches)))
+            try:
+                self._workers[rank].send(("batches", self._last_batches))
+            except WorkerDied as error:
+                # Recovery re-uploads the cache and consumes the ack itself.
+                self._recover(rank, str(error))
+                acknowledged.add(rank)
         for rank in range(self.num_workers):
-            self._expect_ok(rank)
+            if rank in acknowledged:
+                continue
+            worker = self._workers[rank]
+            try:
+                reply = worker.recv_within(self.supervision.deadline(),
+                                           self.supervision.poll_interval)
+            except (WorkerDied, WorkerTimedOut) as error:
+                self._recover(rank, str(error))
+                continue
+            if reply[0] == "error":  # pragma: no cover - upload bug
+                raise RuntimeError(
+                    f"gradient worker {rank} rejected its batch upload:\n"
+                    f"{reply[1]}")
 
     def _publish_params(self, flat_params: np.ndarray) -> int:
         """Write the parameter vector into the next ring slot; return it."""
@@ -424,7 +551,7 @@ class GradientWorkerPool(_ExecutorBase):
         self._check_idle()
         slot = self._publish_params(flat_params)
         for position, member in enumerate(members):
-            self._send(position % self.num_workers, (kind, slot, member))
+            self._send_tracked(position % self.num_workers, (kind, slot, member))
         self._in_flight = len(members)
 
     def submit_group(self, flat_params: np.ndarray,
@@ -452,29 +579,26 @@ class GradientWorkerPool(_ExecutorBase):
         self._in_flight = None
         results: List[GradientResult] = []
         for position in range(count):
-            reply = self._expect_ok(position % self.num_workers)
+            rank = position % self.num_workers
+            # The rank's whole unanswered backlog shares one deadline — the
+            # reply being waited on may legitimately be queued behind the
+            # rank's other still-outstanding tasks.
+            reply = self._expect_ok(
+                rank, tasks_queued=max(1, len(self._outstanding[rank])))
             results.append((reply[1], reply[2], reply[3]))
         return results
 
+    @property
+    def restarts(self) -> int:
+        """Total worker respawns this pool has performed (telemetry)."""
+        return self._restart_budget.spent
+
     def close(self) -> None:
         """Shut the workers down (best effort, safe to call repeatedly)."""
-        for connection in self._connections:
-            try:
-                connection.send(("close",))
-            except (OSError, ValueError):
-                pass
-        for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1)
-        for connection in self._connections:
-            try:
-                connection.close()
-            except OSError:
-                pass
-        self._connections = []
-        self._processes = []
+        for worker in self._workers:
+            worker.close(farewell=("close",))
+        self._workers = []
+        self._outstanding = {}
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
         try:
@@ -485,17 +609,21 @@ class GradientWorkerPool(_ExecutorBase):
 
 def make_gradient_executor(model: Module, num_workers: int, loss: str = "mse",
                            backend: str = "process",
-                           start_method: Optional[str] = None):
+                           start_method: Optional[str] = None,
+                           task_timeout: Optional[float] = None):
     """Build the gradient execution engine for data-parallel training.
 
     ``backend="process"`` returns a :class:`GradientWorkerPool`;
     ``backend="serial"`` returns a :class:`SerialGradientExecutor` with
     identical update semantics (useful on single-core machines and for the
-    bit-exact process-vs-serial equivalence tests).
+    bit-exact process-vs-serial equivalence tests).  ``task_timeout``
+    bounds one gradient task's wall time on the process backend (a hung
+    worker is killed and respawned); the serial backend ignores it.
     """
     if backend == "process":
         return GradientWorkerPool(model, num_workers, loss=loss,
-                                  start_method=start_method)
+                                  start_method=start_method,
+                                  task_timeout=task_timeout)
     if backend == "serial":
         return SerialGradientExecutor(model, num_workers, loss=loss)
     raise ValueError(f"unknown parallel backend '{backend}' (use 'process' or 'serial')")

@@ -1,0 +1,10 @@
+"""Test-support utilities shipped with the package.
+
+The only resident so far is :mod:`repro.testing.faults`, the
+deterministic fault-injection harness used by the resilience test suite
+(and available for manual chaos runs via ``REPRO_FAULTS``).
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

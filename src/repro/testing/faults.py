@@ -1,0 +1,244 @@
+"""Deterministic fault injection for the worker farms.
+
+Every recovery path in the resilience layer (worker death, hangs, failing
+units, corrupted shard bytes) must be exercised by tests, not by hope.
+This module plants named **fault points** in production code; each is a
+single cheap call
+
+    fault_point("factory.unit.start", unit_index=unit.index)
+
+that does nothing unless a **fault plan** is active.  Plans are injected
+two ways:
+
+* ``REPRO_FAULTS`` — a JSON list of fault specs in the environment, so
+  faults survive into worker *subprocesses* (both fork and spawn start
+  methods) and into CLI invocations under test.
+* :func:`install_plan` — direct in-process installation for unit tests.
+
+A fault spec is a dict::
+
+    {"site": "factory.unit.start",      # fault-point name (required)
+     "kind": "die",                     # die | hang | delay | fail | corrupt
+     "match": {"unit_index": 4},        # fire only when these coords match
+     "once": true,                      # fire at most once per fault *id*
+     "id": "kill-unit-4",               # marker name for once-semantics
+     "seconds": 0.2}                    # delay/hang duration (delay only)
+
+Kinds:
+
+``die``
+    ``os._exit(86)`` — an abrupt SIGKILL-like death (no cleanup, no
+    exception propagation), the closest portable stand-in for the OOM
+    killer.
+``hang``
+    Sleep far beyond any sane task timeout (the supervisor must detect
+    and kill the process; the sleep only bounds runaway tests).
+``delay``
+    Sleep ``seconds`` then continue — used to force real execution
+    overlap in concurrency tests.
+``fail``
+    Raise :class:`InjectedFault` — an ordinary task failure that the
+    retry/quarantine machinery must handle.
+``corrupt``
+    Flip bytes in the file named by the fault point's ``path`` coordinate
+    — artifact-integrity tests use this to damage a committed shard.
+
+``once`` semantics must hold **across processes and respawns** (a fault
+that kills every worker that ever touches unit 4 makes recovery
+impossible by construction, which is a different test).  They are
+implemented as ``O_CREAT|O_EXCL`` marker files in ``REPRO_FAULT_DIR``;
+whichever process creates the marker fires the fault, everyone else
+skips it.  Plans containing a ``once`` spec therefore require
+``REPRO_FAULT_DIR`` to be set when installed via the environment.
+
+Separately, ``REPRO_FAULT_EXEC_LOG`` names a file to which
+:func:`log_execution` appends one line per call (``O_APPEND`` writes of
+one short line are atomic on POSIX) — concurrency tests use it to prove
+each work unit was executed exactly once across competing processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "InjectedFault",
+    "fault_point",
+    "install_plan",
+    "active_plan",
+    "log_execution",
+    "HANG_SECONDS",
+]
+
+ENV_PLAN = "REPRO_FAULTS"
+ENV_MARKER_DIR = "REPRO_FAULT_DIR"
+ENV_EXEC_LOG = "REPRO_FAULT_EXEC_LOG"
+
+# Upper bound on a "hang": long enough that any sane task timeout fires
+# first, short enough that a misconfigured test cannot wedge CI forever.
+HANG_SECONDS = 120.0
+
+_VALID_KINDS = ("die", "hang", "delay", "fail", "corrupt")
+
+# None = not yet loaded from the environment; [] = loaded, no faults.
+_plan: Optional[List[Dict[str, Any]]] = None
+_plan_from_env: Optional[str] = None
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``kind: fail`` fault specs."""
+
+
+def _validate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    if not isinstance(spec, dict):
+        raise ValueError(f"fault spec must be a dict, got {type(spec).__name__}")
+    site = spec.get("site")
+    if not site or not isinstance(site, str):
+        raise ValueError(f"fault spec needs a 'site' string: {spec!r}")
+    kind = spec.get("kind")
+    if kind not in _VALID_KINDS:
+        raise ValueError(
+            f"fault spec 'kind' must be one of {_VALID_KINDS}, got {kind!r}")
+    match = spec.get("match", {})
+    if not isinstance(match, dict):
+        raise ValueError(f"fault spec 'match' must be a dict: {spec!r}")
+    if spec.get("once") and not spec.get("id"):
+        raise ValueError(
+            f"fault spec with 'once' needs an 'id' for its marker: {spec!r}")
+    return spec
+
+
+def install_plan(specs: Optional[List[Dict[str, Any]]]) -> None:
+    """Install a fault plan in-process (``None`` clears it).
+
+    Unit-test hook; production processes pick plans up from
+    ``REPRO_FAULTS`` instead.  Installed plans take precedence over the
+    environment until cleared.
+    """
+    global _plan, _plan_from_env
+    if specs is None:
+        _plan = None
+        _plan_from_env = None
+        return
+    _plan = [_validate(dict(s) if isinstance(s, dict) else s) for s in specs]
+    _plan_from_env = None
+
+
+def active_plan() -> List[Dict[str, Any]]:
+    """The current fault plan (env plans are parsed lazily and cached)."""
+    global _plan, _plan_from_env
+    raw = os.environ.get(ENV_PLAN)
+    if _plan is not None and (_plan_from_env is None or _plan_from_env == raw):
+        return _plan
+    if not raw:
+        _plan = None
+        _plan_from_env = None
+        return []
+    try:
+        specs = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{ENV_PLAN} is not valid JSON: {error}") from error
+    if not isinstance(specs, list):
+        raise ValueError(f"{ENV_PLAN} must be a JSON list of fault specs")
+    plan = [_validate(s) for s in specs]
+    if any(s.get("once") for s in plan) and not os.environ.get(ENV_MARKER_DIR):
+        raise ValueError(
+            f"{ENV_PLAN} contains 'once' faults but {ENV_MARKER_DIR} is not "
+            "set — once-markers need a shared directory to survive respawns")
+    _plan = plan
+    _plan_from_env = raw
+    return _plan
+
+
+def _claim_once_marker(fault_id: str) -> bool:
+    """Atomically claim the right to fire a once-fault (cross-process)."""
+    directory = os.environ.get(ENV_MARKER_DIR)
+    if not directory:
+        raise ValueError(
+            f"fault {fault_id!r} has once-semantics but {ENV_MARKER_DIR} "
+            "is not set")
+    os.makedirs(directory, exist_ok=True)
+    marker = os.path.join(directory, f"fired-{fault_id}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(f"pid={os.getpid()} time={time.time():.3f}\n")
+    return True
+
+
+def _matches(spec: Dict[str, Any], coords: Dict[str, Any]) -> bool:
+    return all(coords.get(key) == value
+               for key, value in spec.get("match", {}).items())
+
+
+def _corrupt_file(path: str) -> None:
+    """Flip a handful of payload bytes in ``path`` (keeps the size)."""
+    with open(path, "r+b") as handle:
+        data = handle.read()
+        if not data:
+            raise ValueError(f"cannot corrupt empty file: {path}")
+        blob = bytearray(data)
+        # Damage the middle of the file: headers at either end may be
+        # validated before the checksum gets its chance, and the point of
+        # the integrity tests is that the *checksum* catches silent rot.
+        start = len(blob) // 2
+        for offset in range(start, min(start + 8, len(blob))):
+            blob[offset] ^= 0xFF
+        handle.seek(0)
+        handle.write(bytes(blob))
+
+
+def fault_point(site: str, **coords: Any) -> None:
+    """Declare a named fault point; fire any matching active faults.
+
+    No-op (one dict lookup) when no plan is active — safe to leave in
+    production code paths.
+    """
+    plan = active_plan()
+    if not plan:
+        return
+    for spec in plan:
+        if spec["site"] != site or not _matches(spec, coords):
+            continue
+        if spec.get("once") and not _claim_once_marker(spec["id"]):
+            continue
+        kind = spec["kind"]
+        if kind == "die":
+            os._exit(86)
+        elif kind == "hang":
+            time.sleep(float(spec.get("seconds", HANG_SECONDS)))
+        elif kind == "delay":
+            time.sleep(float(spec.get("seconds", 0.1)))
+        elif kind == "fail":
+            raise InjectedFault(
+                f"injected failure at {site} ({coords!r})")
+        elif kind == "corrupt":
+            path = coords.get("path")
+            if not path:
+                raise ValueError(
+                    f"corrupt fault at {site} needs a 'path' coordinate")
+            _corrupt_file(str(path))
+
+
+def log_execution(event: str, **coords: Any) -> None:
+    """Append one line to ``REPRO_FAULT_EXEC_LOG`` (if set).
+
+    Single short ``O_APPEND`` writes are atomic on POSIX, so competing
+    processes can share one log; tests read it back to count how many
+    times each piece of work actually executed.
+    """
+    path = os.environ.get(ENV_EXEC_LOG)
+    if not path:
+        return
+    parts = [event] + [f"{key}={coords[key]}" for key in sorted(coords)]
+    line = (" ".join(parts) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)

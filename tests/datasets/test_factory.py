@@ -208,25 +208,32 @@ class TestResume:
         with pytest.raises(ValueError, match="different job spec"):
             run_job(spec_for(seed=99), path, workers=1, resume=True)
 
-    def test_failed_units_are_recorded_and_retried(self, tmp_path, monkeypatch,
-                                                   reference_store):
+    def test_failing_unit_is_retried_then_quarantined(self, tmp_path,
+                                                      monkeypatch,
+                                                      reference_store):
         import repro.datasets.factory as factory_module
         path = str(tmp_path / "flaky")
         real_execute = factory_module.execute_unit
 
-        def flaky_execute(spec, unit, store_path):
+        def broken_execute(spec, unit, store_path):
             if unit.index == 4:
                 raise RuntimeError("injected unit failure")
             return real_execute(spec, unit, store_path)
 
-        monkeypatch.setattr(factory_module, "execute_unit", flaky_execute)
-        with pytest.raises(RuntimeError, match=r"1 unit\(s\) failed: \[4\]"):
-            run_job(spec_for(), path, workers=1)
-        status = job_status(path)
-        assert status["failed_units"] == [4]
+        monkeypatch.setattr(factory_module, "execute_unit", broken_execute)
+        # A persistently failing unit no longer aborts the job: the run
+        # completes, the unit is quarantined with its traceback, and every
+        # execution (1 initial + max_retries) is counted.
+        status = run_job(spec_for(), path, workers=1, max_retries=1)
+        assert status["quarantined_units"] == [4]
+        assert status["failed_units"] == [4]  # legacy alias
+        assert not status["complete"]
+        assert status["done_units"] == 5
         with open(os.path.join(path, MANIFEST_NAME)) as handle:
-            failed = json.load(handle)["catalog"]["units"][4]
-        assert "injected unit failure" in failed["error"]
+            quarantined = json.load(handle)["catalog"]["units"][4]
+        assert quarantined["status"] == "quarantined"
+        assert "injected unit failure" in quarantined["error"]
+        assert quarantined["attempts"] == 2  # 1 + max_retries
 
         monkeypatch.setattr(factory_module, "execute_unit", real_execute)
         executed = []
@@ -234,6 +241,9 @@ class TestResume:
                         progress=lambda index, done, total: executed.append(index))
         assert executed == [4]
         assert final["complete"]
+        assert final["quarantined_units"] == []
+        # 5 clean units once each, unit 4 twice in run one + once on resume.
+        assert final["total_attempts"] == 5 + 2 + 1
         assert store_contents(path) == store_contents(reference_store)
 
 

@@ -1,0 +1,20 @@
+"""Shared configuration for the resilience suite.
+
+Every test starts and ends with no fault plan active — neither installed
+in-process nor left in the environment — so a failing test can never leak
+injected faults into its neighbours (a leaked ``die`` fault would take the
+whole pytest process with it)."""
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    faults.install_plan(None)
+    for variable in (faults.ENV_PLAN, faults.ENV_MARKER_DIR,
+                     faults.ENV_EXEC_LOG):
+        monkeypatch.delenv(variable, raising=False)
+    yield
+    faults.install_plan(None)

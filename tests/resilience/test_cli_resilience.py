@@ -1,0 +1,49 @@
+"""CLI surface of the fault-tolerance layer: `generate --max-retries /
+--task-timeout`, the non-zero exit code on quarantined units, and the
+`status` report's attempts / quarantine lines."""
+
+from repro.cli import build_parser, main
+from repro.testing.faults import install_plan
+
+
+def test_generate_exits_nonzero_on_quarantine_and_resume_heals(tmp_path,
+                                                               capsys):
+    store = str(tmp_path / "store")
+    command = ["generate", "--topology", "nsfnet", "--samples", "4",
+               "--unit-size", "2", "--workers", "1", "--seed", "5",
+               "--output", store]
+
+    # Unit 1 fails on every execution: 1 + max-retries attempts, then
+    # quarantine — the run completes, reports, and exits 1.
+    install_plan([{"site": "factory.unit.start", "kind": "fail",
+                   "match": {"unit_index": 1}}])
+    assert main(command + ["--max-retries", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "QUARANTINED units   : [1]" in captured.out
+    assert "execution attempts  : 3" in captured.out  # unit 0 once, unit 1 twice
+    assert "quarantined" in captured.err
+
+    assert main(["status", "--dataset", store]) == 0
+    assert "QUARANTINED units   : [1]" in capsys.readouterr().out
+
+    # Clearing the fault and resuming retries the quarantined unit.
+    install_plan(None)
+    assert main(command + ["--resume"]) == 0
+    assert main(["status", "--dataset", store]) == 0
+    out = capsys.readouterr().out
+    assert "(complete)" in out
+    assert "QUARANTINED" not in out
+
+
+def test_fault_tolerance_flags_parse_and_default(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["generate", "--output", "x"])
+    assert args.max_retries == 2
+    assert args.task_timeout is None
+    args = parser.parse_args(["generate", "--output", "x",
+                              "--max-retries", "0", "--task-timeout", "1.5"])
+    assert args.max_retries == 0
+    assert args.task_timeout == 1.5
+    args = parser.parse_args(["train", "--dataset", "d", "--output", "x",
+                              "--task-timeout", "30"])
+    assert args.task_timeout == 30.0

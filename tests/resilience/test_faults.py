@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic fault-injection harness.
+
+The ``die`` and ``hang`` kinds are exercised end to end by the recovery
+tests (firing them in-process would kill or wedge pytest itself); here we
+pin down spec validation, plan sources and precedence, coordinate
+matching, cross-process once-markers, byte corruption and the execution
+log."""
+
+import json
+import os
+
+import pytest
+
+from repro.testing.faults import (
+    ENV_EXEC_LOG,
+    ENV_MARKER_DIR,
+    ENV_PLAN,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    install_plan,
+    log_execution,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_malformed_specs(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            install_plan(["not-a-dict"])
+        with pytest.raises(ValueError, match="'site'"):
+            install_plan([{"kind": "fail"}])
+        with pytest.raises(ValueError, match="'kind'"):
+            install_plan([{"site": "x", "kind": "explode"}])
+        with pytest.raises(ValueError, match="'match'"):
+            install_plan([{"site": "x", "kind": "fail", "match": [1]}])
+        with pytest.raises(ValueError, match="'id'"):
+            install_plan([{"site": "x", "kind": "fail", "once": True}])
+
+
+class TestPlanSources:
+    def test_env_plan_is_parsed_and_cached(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, json.dumps(
+            [{"site": "a", "kind": "fail"}]))
+        assert active_plan()[0]["site"] == "a"
+        # A changed raw value invalidates the cache.
+        monkeypatch.setenv(ENV_PLAN, json.dumps(
+            [{"site": "b", "kind": "fail"}]))
+        assert active_plan()[0]["site"] == "b"
+        monkeypatch.delenv(ENV_PLAN)
+        assert active_plan() == []
+
+    def test_env_plan_errors(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, "{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            active_plan()
+        monkeypatch.setenv(ENV_PLAN, json.dumps({"site": "x"}))
+        with pytest.raises(ValueError, match="JSON list"):
+            active_plan()
+        # once-faults from the environment need the shared marker dir.
+        monkeypatch.setenv(ENV_PLAN, json.dumps(
+            [{"site": "x", "kind": "fail", "once": True, "id": "f"}]))
+        monkeypatch.delenv(ENV_MARKER_DIR, raising=False)
+        with pytest.raises(ValueError, match=ENV_MARKER_DIR):
+            active_plan()
+
+    def test_installed_plan_takes_precedence_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, json.dumps(
+            [{"site": "from-env", "kind": "fail"}]))
+        install_plan([{"site": "installed", "kind": "fail"}])
+        assert active_plan()[0]["site"] == "installed"
+        install_plan(None)
+        assert active_plan()[0]["site"] == "from-env"
+
+
+class TestFiring:
+    def test_fail_fires_only_on_matching_coordinates(self):
+        install_plan([{"site": "s", "kind": "fail", "match": {"k": 3}}])
+        fault_point("other-site", k=3)      # wrong site: no-op
+        fault_point("s", k=2)               # wrong coordinate: no-op
+        fault_point("s")                    # missing coordinate: no-op
+        with pytest.raises(InjectedFault, match="injected failure at s"):
+            fault_point("s", k=3)
+
+    def test_once_fires_exactly_once_via_marker_file(self, tmp_path,
+                                                     monkeypatch):
+        markers = tmp_path / "markers"
+        monkeypatch.setenv(ENV_MARKER_DIR, str(markers))
+        install_plan([{"site": "s", "kind": "fail", "once": True,
+                       "id": "only-one"}])
+        with pytest.raises(InjectedFault):
+            fault_point("s")
+        assert (markers / "fired-only-one").is_file()
+        fault_point("s")  # marker claimed: never again, in any process
+
+    def test_corrupt_flips_bytes_preserving_size(self, tmp_path):
+        target = tmp_path / "shard.bin"
+        target.write_bytes(bytes(range(64)))
+        install_plan([{"site": "s", "kind": "corrupt"}])
+        fault_point("s", path=str(target))
+        damaged = target.read_bytes()
+        assert len(damaged) == 64
+        assert damaged != bytes(range(64))
+        # The corruption must be the kind a checksum catches, not a header
+        # truncation: the middle of the payload is what gets flipped.
+        assert damaged[:16] == bytes(range(16))
+
+    def test_corrupt_requires_a_path_and_refuses_empty_files(self, tmp_path):
+        install_plan([{"site": "s", "kind": "corrupt"}])
+        with pytest.raises(ValueError, match="'path'"):
+            fault_point("s")
+        empty = tmp_path / "empty"
+        empty.touch()
+        with pytest.raises(ValueError, match="empty file"):
+            fault_point("s", path=str(empty))
+
+    def test_delay_continues_after_sleeping(self):
+        install_plan([{"site": "s", "kind": "delay", "seconds": 0.01}])
+        fault_point("s")  # returns — the point of delay vs hang
+
+
+class TestExecutionLog:
+    def test_noop_without_env(self):
+        log_execution("unit", unit_index=1)  # must not raise or create files
+
+    def test_appends_one_sorted_line_per_call(self, tmp_path, monkeypatch):
+        log = tmp_path / "exec.log"
+        monkeypatch.setenv(ENV_EXEC_LOG, str(log))
+        log_execution("unit", unit_index=4, pid=123)
+        log_execution("unit", unit_index=5, pid=123)
+        assert log.read_text().splitlines() == [
+            "unit pid=123 unit_index=4",
+            "unit pid=123 unit_index=5",
+        ]

@@ -1,0 +1,126 @@
+"""Artifact integrity: checksummed shards, corruption refusal, targeted
+regeneration on resume, and crash consistency of the shard commit
+protocol (a writer killed between finishing the bytes and the rename must
+leave no partial shard under the final name)."""
+
+import json
+import os
+
+import pytest
+
+from repro.datasets import DatasetJobSpec, ShardedDatasetReader, job_status, run_job
+from repro.datasets.sharded import MANIFEST_NAME, file_sha256, is_sharded_store
+from repro.supervision import RestartBudgetExceeded
+from repro.testing import faults
+from repro.testing.faults import ENV_PLAN
+
+
+def small_spec(**overrides) -> DatasetJobSpec:
+    parameters = dict(topologies=("ring:4",), samples_per_scenario=6,
+                      unit_size=2, seed=7,
+                      base_config={"small_queue_fraction": 0.5})
+    parameters.update(overrides)
+    return DatasetJobSpec(**parameters)
+
+
+def store_contents(path):
+    contents = []
+    for sample in ShardedDatasetReader(path):
+        payload = sample.to_dict()
+        payload["metadata"].pop("sim_wall_seconds", None)
+        contents.append(json.dumps(payload, sort_keys=True))
+    return contents
+
+
+def shard_digests(path):
+    """name -> sha256 of the actual shard bytes on disk, in manifest order."""
+    with open(os.path.join(path, MANIFEST_NAME)) as handle:
+        shards = json.load(handle)["shards"]
+    return {s["name"]: file_sha256(os.path.join(path, s["name"]))
+            for s in shards}
+
+
+@pytest.fixture(scope="module")
+def reference_store(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("integrity") / "reference")
+    assert run_job(small_spec(), path, workers=1)["complete"]
+    return path
+
+
+@pytest.mark.parametrize("payload,shard_name", [
+    ("binary", "unit-000001.npz"),
+    ("jsonl", "unit-000001.jsonl.gz"),
+])
+def test_reader_refuses_a_corrupted_shard_naming_it(tmp_path, payload,
+                                                    shard_name):
+    path = str(tmp_path / payload)
+    assert run_job(small_spec(payload=payload), path, workers=1)["complete"]
+    assert store_contents(path)  # pristine store reads (and verifies) fine
+
+    faults._corrupt_file(os.path.join(path, shard_name))
+    reader = ShardedDatasetReader(path)
+    with pytest.raises(ValueError, match="failed checksum") as excinfo:
+        list(reader)
+    message = str(excinfo.value)
+    assert shard_name in message
+    assert "sha256" in message and "regenerate" in message
+
+
+def test_verification_is_per_reader_and_once_per_shard(reference_store):
+    reader = ShardedDatasetReader(reference_store)
+    assert reader.verify_checksums
+    list(reader)
+    verified_once = set(reader._verified_shards)
+    assert len(verified_once) == 3
+    list(reader)  # second pass re-uses the verified set, no re-hash
+    assert reader._verified_shards == verified_once
+    relaxed = ShardedDatasetReader(reference_store, verify_checksums=False)
+    list(relaxed)
+    assert not relaxed._verified_shards
+
+
+def test_resume_sets_aside_corrupt_shard_and_regenerates_exactly_it(
+        tmp_path, reference_store):
+    """The acceptance criterion: flip bytes in one committed shard; resume
+    must re-execute exactly that unit (quarantining the rotten bytes as
+    `.corrupt`) and restore a store equal to the fault-free one."""
+    path = str(tmp_path / "store")
+    run_job(small_spec(), path, workers=1)
+    faults._corrupt_file(os.path.join(path, "unit-000001.npz"))
+
+    executed = []
+    status = run_job(small_spec(), path, workers=1, resume=True,
+                     progress=lambda index, done, total: executed.append(index))
+    assert executed == [1]
+    assert status["complete"]
+    assert os.path.isfile(os.path.join(path, "unit-000001.npz.corrupt"))
+    assert store_contents(path) == store_contents(reference_store)
+    assert shard_digests(path) == shard_digests(reference_store)
+    # The corruption round trip is visible in the catalog's attempt count.
+    assert status["total_attempts"] == 3 + 1
+
+
+def test_crash_between_shard_bytes_and_rename_leaves_no_partial_shard(
+        tmp_path, monkeypatch, reference_store):
+    """Kill the factory worker at `sharded.shard.pre_replace` — after the
+    unit's bytes are fully written to the `.tmp` name, before the rename.
+    With a zero restart budget the run dies; the store must hold no file
+    under the final shard name, stay resumable, and resume to a store
+    byte-identical to an uninterrupted run's."""
+    monkeypatch.setenv(ENV_PLAN, json.dumps(
+        [{"site": "sharded.shard.pre_replace", "kind": "die",
+          "match": {"name": "unit-000001.npz"}}]))
+    path = str(tmp_path / "store")
+    with pytest.raises(RestartBudgetExceeded):
+        run_job(small_spec(), path, workers=2, max_restarts=0)
+
+    assert not os.path.exists(os.path.join(path, "unit-000001.npz"))
+    assert is_sharded_store(path)  # catalog flushed before the raise
+    crashed = job_status(path)
+    assert not crashed["complete"]
+
+    monkeypatch.delenv(ENV_PLAN)
+    final = run_job(small_spec(), path, workers=1, resume=True)
+    assert final["complete"]
+    assert shard_digests(path) == shard_digests(reference_store)
+    assert store_contents(path) == store_contents(reference_store)

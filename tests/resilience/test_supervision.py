@@ -1,0 +1,145 @@
+"""Unit tests for the shared supervision layer, against a real echo-worker
+process: liveness detection, queued-reply draining, task deadlines,
+respawn, and the restart budget."""
+
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.supervision import (
+    RestartBudget,
+    RestartBudgetExceeded,
+    SupervisedWorker,
+    SupervisionPolicy,
+    WorkerDied,
+    WorkerTimedOut,
+)
+
+
+def _echo_worker_main(conn):
+    """Minimal pipe-protocol worker: echo, sleep, or die on command."""
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "echo":
+                conn.send(("ok", message[1]))
+            elif kind == "sleep":
+                time.sleep(message[1])
+                conn.send(("ok", "slept"))
+            elif kind == "reply_then_exit":
+                conn.send(("ok", "bye"))
+                conn.close()
+                os._exit(0)
+            elif kind == "exit":
+                os._exit(3)
+            elif kind == "close":
+                break
+    except (EOFError, OSError):
+        pass
+
+
+def _spawn_echo(rank: int):
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    context = mp.get_context(method)
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(target=_echo_worker_main, args=(child_conn,),
+                              daemon=True)
+    process.start()
+    child_conn.close()
+    return process, parent_conn
+
+
+class TestSupervisionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            SupervisionPolicy(task_timeout=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="max_restarts"):
+            SupervisionPolicy(max_restarts=-1)
+        with pytest.raises(ValueError, match="poll_interval"):
+            SupervisionPolicy(poll_interval=0)
+
+    def test_deadline_scales_with_queued_tasks(self):
+        assert SupervisionPolicy().deadline() is None
+        policy = SupervisionPolicy(task_timeout=10.0)
+        now = time.monotonic()
+        assert policy.deadline() == pytest.approx(now + 10.0, abs=1.0)
+        assert policy.deadline(tasks=3) == pytest.approx(now + 30.0, abs=1.0)
+        assert policy.deadline(tasks=0) == pytest.approx(now + 10.0, abs=1.0)
+
+
+class TestRestartBudget:
+    def test_spend_raises_past_the_limit_naming_the_fault(self):
+        budget = RestartBudget(2)
+        budget.spend("first crash")
+        budget.spend("second crash")
+        assert budget.spent == 2
+        with pytest.raises(RestartBudgetExceeded, match="third crash"):
+            budget.spend("third crash")
+
+    def test_zero_budget_fails_on_first_fault(self):
+        with pytest.raises(RestartBudgetExceeded):
+            RestartBudget(0).spend("any")
+
+
+class TestSupervisedWorker:
+    def test_echo_round_trip(self):
+        worker = SupervisedWorker(0, _spawn_echo)
+        try:
+            worker.send(("echo", 42))
+            assert worker.recv_within(None, poll_interval=0.05) == ("ok", 42)
+        finally:
+            worker.close(farewell=("close",))
+
+    def test_death_raises_and_respawn_recovers(self):
+        worker = SupervisedWorker(0, _spawn_echo)
+        try:
+            worker.send(("exit",))
+            with pytest.raises(WorkerDied, match="worker 0"):
+                worker.recv_within(None, poll_interval=0.05)
+            worker.respawn()
+            assert worker.restarts == 1
+            worker.send(("echo", "again"))
+            assert worker.recv_within(None, poll_interval=0.05) == \
+                ("ok", "again")
+        finally:
+            worker.close(farewell=("close",))
+
+    def test_queued_replies_survive_the_workers_death(self):
+        """A worker that answered and *then* died must not lose the answer:
+        the reply is drained normally, and only afterwards does the pipe
+        report the death."""
+        worker = SupervisedWorker(0, _spawn_echo)
+        try:
+            worker.send(("reply_then_exit",))
+            worker.process.join(timeout=10)
+            assert not worker.alive()
+            assert not worker.is_dead()  # data still readable
+            assert worker.recv_within(None, poll_interval=0.05) == ("ok", "bye")
+            with pytest.raises(WorkerDied):
+                worker.recv_within(None, poll_interval=0.05)
+        finally:
+            worker.reap()
+
+    def test_deadline_exceeded_raises_timed_out(self):
+        worker = SupervisedWorker(0, _spawn_echo)
+        try:
+            worker.send(("sleep", 30.0))
+            with pytest.raises(WorkerTimedOut, match="presumed hung"):
+                worker.recv_within(time.monotonic() + 0.3, poll_interval=0.05)
+        finally:
+            worker.reap()  # kills the still-sleeping process
+            assert not worker.alive()
+
+    def test_send_to_dead_worker_raises(self):
+        worker = SupervisedWorker(0, _spawn_echo)
+        worker.send(("exit",))
+        worker.process.join(timeout=10)
+        worker.conn.close()
+        with pytest.raises(WorkerDied):
+            worker.send(("echo", 1))
+        worker.reap()
